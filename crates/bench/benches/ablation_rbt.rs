@@ -1,0 +1,30 @@
+//! Bench target for ablation X2: RMAC with vs without RBT data protection
+//! at reduced scale, printing the reliability gap it causes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rmac_bench::bench_run;
+use rmac_engine::Protocol;
+
+fn bench(c: &mut Criterion) {
+    let with = bench_run(40.0, Protocol::Rmac, 0);
+    let without = bench_run(40.0, Protocol::RmacNoRbt, 0);
+    eprintln!(
+        "[X2] rate 40: delivery RMAC {:.4} vs noRBT {:.4}; retx {:.3} vs {:.3}",
+        with.delivery_ratio(),
+        without.delivery_ratio(),
+        with.retx_ratio_avg,
+        without.retx_ratio_avg
+    );
+    let mut g = c.benchmark_group("ablation_rbt");
+    g.sample_size(10);
+    g.bench_function("rmac_with_rbt", |b| {
+        b.iter(|| bench_run(40.0, Protocol::Rmac, 0))
+    });
+    g.bench_function("rmac_without_rbt", |b| {
+        b.iter(|| bench_run(40.0, Protocol::RmacNoRbt, 0))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

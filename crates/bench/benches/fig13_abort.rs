@@ -1,0 +1,21 @@
+//! Bench target regenerating the paper's Fig.13 at reduced scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rmac_bench::{bench_run, print_series};
+use rmac_engine::Protocol;
+
+fn bench(c: &mut Criterion) {
+    print_series("Fig.13", "avg MRTS abortion ratio", |r| r.abort_avg);
+    let mut g = c.benchmark_group("fig13_abort");
+    g.sample_size(10);
+    g.bench_function("rmac_rate40", |b| {
+        b.iter(|| bench_run(40.0, Protocol::Rmac, 0))
+    });
+    g.bench_function("bmmm_rate40", |b| {
+        b.iter(|| bench_run(40.0, Protocol::Bmmm, 0))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

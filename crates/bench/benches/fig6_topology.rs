@@ -1,0 +1,28 @@
+//! Bench target regenerating the paper's Fig. 6 (tree formation) at
+//! reduced scale: measures how fast a BLESS-lite tree forms and stabilises.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rmac_engine::{Protocol, Runner, ScenarioConfig};
+
+fn form_tree(seed: u64) -> (f64, f64) {
+    let cfg = ScenarioConfig::paper_stationary(5.0)
+        .with_nodes(30)
+        .with_packets(5);
+    let (report, _parents) = Runner::new(&cfg, Protocol::Rmac, seed).run_with_tree(seed);
+    (report.hops_avg, report.children_avg)
+}
+
+fn bench(c: &mut Criterion) {
+    let (hops, children) = form_tree(0);
+    eprintln!(
+        "[Fig.6] bench-scale tree: hops avg {hops:.2}, children avg {children:.2} \
+         (paper at 75 nodes: 3.87 / 3.54)"
+    );
+    let mut g = c.benchmark_group("fig6_topology");
+    g.sample_size(10);
+    g.bench_function("form_tree_30_nodes", |b| b.iter(|| form_tree(0)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,136 @@
+//! Micro-benchmarks of the substrate hot paths: event queue throughput,
+//! channel transmissions, air-time arithmetic, codec, and the RMAC state
+//! machine driven by a scripted context.
+
+use bytes::Bytes;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rmac_core::api::{MacService, TimerKind, TxRequest};
+use rmac_core::testkit::Mock;
+use rmac_core::{MacConfig, Rmac};
+use rmac_mobility::{Motion, Pos};
+use rmac_phy::{Channel, ChannelConfig, PhyEvent, Tone};
+use rmac_sim::{EventQueue, SimRng, SimTime};
+use rmac_wire::consts::T_WF;
+use rmac_wire::{codec, Dest, Frame, NodeId};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u64> = EventQueue::with_capacity(1024);
+            let mut x = 0x9E3779B97F4A7C15u64;
+            for i in 0..10_000u64 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                q.push_after(SimTime::from_nanos(x % 100_000), i);
+                if i % 2 == 1 {
+                    black_box(q.pop());
+                }
+            }
+            while q.pop().is_some() {}
+        })
+    });
+    g.finish();
+}
+
+fn bench_channel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("channel");
+    g.bench_function("tx_75_nodes", |b| {
+        // One transmission heard by many nodes: arrival scheduling plus
+        // full event drain.
+        b.iter_with_setup(
+            || {
+                let motions: Vec<Motion> = (0..75)
+                    .map(|i| Motion::stationary(Pos::new((i % 10) as f64 * 7.0, (i / 10) as f64 * 7.0)))
+                    .collect();
+                (
+                    Channel::new(ChannelConfig::default(), motions),
+                    EventQueue::<PhyEvent>::new(),
+                    SimRng::new(0),
+                )
+            },
+            |(mut ch, mut q, mut rng)| {
+                let f = Frame::data_unreliable(NodeId(0), Dest::Broadcast, Bytes::from(vec![0u8; 500]), 0);
+                ch.start_tx(&mut q, NodeId(0), f);
+                ch.start_tone(&mut q, NodeId(1), Tone::Rbt);
+                ch.stop_tone(&mut q, NodeId(1), Tone::Rbt);
+                let mut out = Vec::new();
+                while let Some((t, ev)) = q.pop() {
+                    out.clear();
+                    ch.handle(t, &mut rng, &ev, &mut out);
+                    black_box(&out);
+                }
+            },
+        )
+    });
+    g.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec");
+    let mrts = Frame::mrts(NodeId(0), (1..=20).map(NodeId).collect());
+    let bytes = codec::encode(&mrts);
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("mrts_encode_decode_20rx", |b| {
+        b.iter(|| {
+            let enc = codec::encode(black_box(&mrts));
+            black_box(codec::decode(&enc, NodeId(0)).unwrap());
+        })
+    });
+    g.finish();
+}
+
+fn bench_state_machine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("state_machine");
+    g.bench_function("rmac_reliable_cycle", |b| {
+        b.iter(|| {
+            let mut m = Mock::new();
+            let mut r = Rmac::new(NodeId(0), MacConfig::default());
+            r.submit(
+                &mut m,
+                TxRequest {
+                    reliable: true,
+                    dest: Dest::Group(vec![NodeId(1), NodeId(2)]),
+                    payload: Bytes::from_static(b"payload"),
+                    token: 1,
+                },
+            );
+            m.finish_tx(&mut r, false);
+            m.preset_on(Tone::Rbt, m.now, T_WF);
+            m.fire(&mut r, TimerKind::WfRbt);
+            m.finish_tx(&mut r, false);
+            m.preset_abt_slots(m.now, 2, &[0, 1]);
+            m.fire(&mut r, TimerKind::WfAbt);
+            black_box(m.notifications.len());
+        })
+    });
+    g.finish();
+}
+
+fn bench_airtime(c: &mut Criterion) {
+    let mut g = c.benchmark_group("airtime");
+    g.bench_function("section2_table", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for n in 1..=20usize {
+                acc = acc
+                    .wrapping_add(rmac_wire::airtime::rmac_control_cost(black_box(n)).nanos())
+                    .wrapping_add(rmac_wire::airtime::bmmm_control_cost(black_box(n)).nanos());
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_channel,
+    bench_codec,
+    bench_state_machine,
+    bench_airtime
+);
+criterion_main!(benches);

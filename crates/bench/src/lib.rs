@@ -1,0 +1,64 @@
+//! Shared helpers for the Criterion benches.
+//!
+//! Each paper table/figure has a bench target (`cargo bench -p rmac-bench`)
+//! that runs its workload at a reduced, fixed scale — 30 nodes, 40 packets,
+//! one seed — so the whole bench suite completes in minutes while still
+//! exercising exactly the code paths the full experiments use. On first
+//! run each bench also prints the series it regenerates, so `cargo bench`
+//! doubles as a smoke-scale reproduction.
+
+use rmac_engine::{run_replication, Protocol, ScenarioConfig};
+use rmac_metrics::RunReport;
+use rmac_mobility::Bounds;
+
+/// Shrink the plane with the node count so bench-scale networks keep the
+/// paper's node density (30 nodes scattered over the full 500 m × 300 m
+/// plane would be disconnected).
+fn density_scaled(mut cfg: ScenarioConfig, nodes: usize) -> ScenarioConfig {
+    let scale = (nodes as f64 / 75.0).sqrt();
+    cfg.bounds = Bounds::new(500.0 * scale, 300.0 * scale);
+    cfg
+}
+
+/// The fixed bench scale: small but structurally faithful.
+pub fn bench_config(rate: f64) -> ScenarioConfig {
+    density_scaled(
+        ScenarioConfig::paper_stationary(rate)
+            .with_nodes(30)
+            .with_packets(40),
+        30,
+    )
+}
+
+/// The mobile bench scale.
+pub fn bench_config_mobile(rate: f64) -> ScenarioConfig {
+    density_scaled(
+        ScenarioConfig::paper_speed1(rate)
+            .with_nodes(30)
+            .with_packets(40),
+        30,
+    )
+}
+
+/// Run one bench-scale replication.
+pub fn bench_run(rate: f64, protocol: Protocol, seed: u64) -> RunReport {
+    run_replication(&bench_config(rate), protocol, seed)
+}
+
+/// The three rates benches sweep.
+pub const BENCH_RATES: [f64; 3] = [5.0, 40.0, 120.0];
+
+/// Print a metric series once (benches call this outside the measured
+/// closure), so `cargo bench` output contains the regenerated rows.
+pub fn print_series(figure: &str, metric: &str, f: impl Fn(&RunReport) -> f64) {
+    eprintln!("[{figure}] {metric} at bench scale (30 nodes, 40 packets):");
+    for rate in BENCH_RATES {
+        let rmac = bench_run(rate, Protocol::Rmac, 0);
+        let bmmm = bench_run(rate, Protocol::Bmmm, 0);
+        eprintln!(
+            "  rate {rate:>5}: RMAC {:.4}   BMMM {:.4}",
+            f(&rmac),
+            f(&bmmm)
+        );
+    }
+}

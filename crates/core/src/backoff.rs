@@ -1,0 +1,139 @@
+//! The backoff entity (§3.3.1).
+//!
+//! Each node maintains a Backoff Interval (BI) — the remaining deferral in
+//! 20 µs slots — and a Contention Window (CW), which grows exponentially on
+//! failed transmissions and seeds BI. The state machine around it (slot
+//! sensing, suspension on busy channels) lives in the protocol; this entity
+//! owns only the counters and their update rules, shared by RMAC and the
+//! baselines.
+
+use rmac_sim::SimRng;
+
+/// BI/CW bookkeeping for one node.
+#[derive(Clone, Debug)]
+pub struct Backoff {
+    bi: u64,
+    cw: u64,
+    cw_min: u64,
+    cw_max: u64,
+}
+
+impl Backoff {
+    /// A fresh entity with BI = 0 and CW = `cw_min`.
+    pub fn new(cw_min: u64, cw_max: u64) -> Backoff {
+        debug_assert!(cw_min > 0 && cw_min <= cw_max);
+        Backoff {
+            bi: 0,
+            cw: cw_min,
+            cw_min,
+            cw_max,
+        }
+    }
+
+    /// Remaining deferral, in slots.
+    pub fn bi(&self) -> u64 {
+        self.bi
+    }
+
+    /// Current contention window, in slots.
+    pub fn cw(&self) -> u64 {
+        self.cw
+    }
+
+    /// Enter the backoff procedure: draw BI uniformly from `[0, CW]`
+    /// (§3.3.1: "a random number between 0 and the current CW").
+    pub fn draw(&mut self, rng: &mut SimRng) {
+        self.bi = rng.range_inclusive(0, self.cw);
+    }
+
+    /// One idle slot elapsed: decrement BI. Returns `true` when BI reaches
+    /// zero (the node may transmit immediately).
+    pub fn tick(&mut self) -> bool {
+        debug_assert!(self.bi > 0, "tick with BI = 0");
+        self.bi -= 1;
+        self.bi == 0
+    }
+
+    /// Add extra deferral slots on top of the current BI (used by the
+    /// 802.11-family baselines to approximate the DIFS wait).
+    pub fn add_slots(&mut self, k: u64) {
+        self.bi += k;
+    }
+
+    /// A transmission failed: CW doubles (802.11 style: CW ← 2·CW + 1,
+    /// capped at `cw_max`).
+    pub fn fail(&mut self) {
+        self.cw = (self.cw * 2 + 1).min(self.cw_max);
+    }
+
+    /// A transmission succeeded (or the frame was dropped): CW resets.
+    pub fn reset_cw(&mut self) {
+        self.cw = self.cw_min;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cw_grows_and_caps() {
+        let mut b = Backoff::new(31, 1023);
+        let expected = [63, 127, 255, 511, 1023, 1023, 1023];
+        for &e in &expected {
+            b.fail();
+            assert_eq!(b.cw(), e);
+        }
+        b.reset_cw();
+        assert_eq!(b.cw(), 31);
+    }
+
+    #[test]
+    fn draw_is_within_window() {
+        let mut b = Backoff::new(31, 1023);
+        let mut rng = SimRng::new(3);
+        for _ in 0..1000 {
+            b.draw(&mut rng);
+            assert!(b.bi() <= 31);
+        }
+        b.fail();
+        let mut saw_above_31 = false;
+        for _ in 0..1000 {
+            b.draw(&mut rng);
+            assert!(b.bi() <= 63);
+            saw_above_31 |= b.bi() > 31;
+        }
+        assert!(saw_above_31, "CW growth had no effect on draws");
+    }
+
+    #[test]
+    fn tick_counts_down_to_zero() {
+        let mut b = Backoff::new(31, 1023);
+        let mut rng = SimRng::new(5);
+        loop {
+            b.draw(&mut rng);
+            if b.bi() > 0 {
+                break;
+            }
+        }
+        let n = b.bi();
+        for i in 0..n {
+            let done = b.tick();
+            assert_eq!(done, i == n - 1);
+        }
+        assert_eq!(b.bi(), 0);
+    }
+
+    #[test]
+    fn zero_draw_possible() {
+        // BI may legitimately be drawn as 0, enabling immediate tx.
+        let mut b = Backoff::new(31, 1023);
+        let mut rng = SimRng::new(1);
+        let mut saw_zero = false;
+        for _ in 0..2000 {
+            b.draw(&mut rng);
+            saw_zero |= b.bi() == 0;
+        }
+        assert!(saw_zero);
+    }
+}

@@ -1,0 +1,53 @@
+//! MAC configuration.
+
+use rmac_wire::consts::{CW_MAX, CW_MIN, MAX_MRTS_RECEIVERS, RETRY_LIMIT};
+
+/// Tunable MAC parameters. Defaults follow the paper (§3.3–§3.4) and the
+/// 802.11b values it defers to; the extra switches drive the ablation
+/// experiments in `rmac-experiments`.
+#[derive(Clone, Copy, Debug)]
+pub struct MacConfig {
+    /// Minimum contention window, in slots (802.11b: 31).
+    pub cw_min: u64,
+    /// Maximum contention window, in slots (802.11b: 1023).
+    pub cw_max: u64,
+    /// Re-attempts allowed per Reliable Send chunk before it is dropped.
+    pub retry_limit: u32,
+    /// §3.4 refinement: receivers per Reliable Send invocation; larger
+    /// groups are split across invocations.
+    pub max_receivers: usize,
+    /// Transmit queue capacity (frames).
+    pub queue_capacity: usize,
+    /// Ablation X2: when false, receivers do *not* raise the RBT during
+    /// data reception (the tone still answers the MRTS), so data frames
+    /// lose their hidden-terminal protection.
+    pub rbt_data_protection: bool,
+}
+
+impl Default for MacConfig {
+    fn default() -> Self {
+        MacConfig {
+            cw_min: CW_MIN,
+            cw_max: CW_MAX,
+            retry_limit: RETRY_LIMIT,
+            max_receivers: MAX_MRTS_RECEIVERS,
+            queue_capacity: 512,
+            rbt_data_protection: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = MacConfig::default();
+        assert_eq!(c.cw_min, 31);
+        assert_eq!(c.cw_max, 1023);
+        assert_eq!(c.retry_limit, 7);
+        assert_eq!(c.max_receivers, 20);
+        assert!(c.rbt_data_protection);
+    }
+}

@@ -1,0 +1,691 @@
+//! The RMAC protocol state machine (§3.3 and the appendix of the paper).
+//!
+//! A node runs in one of eight states (Fig. 14):
+//!
+//! | State | Meaning |
+//! |-------|---------|
+//! | `IDLE` | no packet, or waiting to start/resume backoff on a busy channel |
+//! | `BACKOFF` | both data and RBT channels idle, BI > 0, counting down |
+//! | `TX_MRTS` | transmitting an MRTS |
+//! | `WF_RBT` | MRTS sent, waiting for an RBT (`T_wf_rbt` = 2τ+λ) |
+//! | `TX_RDATA` | transmitting a reliable data frame |
+//! | `WF_ABT` | data sent, checking the n ordered ABT slots |
+//! | `WF_RDATA` | receiver side: RBT raised, waiting for the data frame |
+//! | `TX_UNRDATA` | transmitting an unreliable data frame |
+//!
+//! The transition conditions C1–C19 of Table 1 are encoded in the handlers
+//! below and exercised one by one in this module's tests.
+
+use std::collections::VecDeque;
+
+use bytes::Bytes;
+use rmac_phy::{Indication, Tone};
+use rmac_sim::{SimTime, TimerSlot};
+use rmac_wire::consts::{LAMBDA, L_ABT, SLOT, T_WF, T_WF_RDATA};
+use rmac_wire::{Dest, Frame, FrameKind, NodeId};
+
+use crate::api::{MacContext, MacService, TimerKind, TxOutcome, TxRequest};
+use crate::backoff::Backoff;
+use crate::config::MacConfig;
+
+/// The eight protocol states of Fig. 14.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum State {
+    /// No packet to transmit, or deferring on a busy channel.
+    Idle,
+    /// Counting down BI over idle 20 µs slots.
+    Backoff,
+    /// Transmitting an MRTS.
+    TxMrts,
+    /// Waiting for the RBT after an MRTS.
+    WfRbt,
+    /// Transmitting a reliable data frame.
+    TxRdata,
+    /// Collecting the ordered ABTs after a data frame.
+    WfAbt,
+    /// Receiver: RBT raised, waiting for/receiving the data frame.
+    WfRdata,
+    /// Transmitting an unreliable data frame.
+    TxUnrdata,
+}
+
+/// A Reliable Send in progress.
+#[derive(Debug)]
+struct ReliableJob {
+    token: u64,
+    payload: Bytes,
+    seq: u32,
+    /// Chunks still to run after the current one (§3.4 splitting).
+    chunks: VecDeque<Vec<NodeId>>,
+    /// Receivers of the current invocation still lacking an ABT.
+    chunk: Vec<NodeId>,
+    delivered: Vec<NodeId>,
+    failed: Vec<NodeId>,
+    /// Failed attempts of the current chunk so far.
+    retries: u32,
+}
+
+/// An Unreliable Send in progress.
+#[derive(Debug)]
+struct UnreliableJob {
+    token: u64,
+    payload: Bytes,
+    dest: Dest,
+    seq: u32,
+}
+
+#[derive(Debug)]
+enum Job {
+    Reliable(ReliableJob),
+    Unreliable(UnreliableJob),
+}
+
+/// Receiver-side session opened by an accepted MRTS.
+#[derive(Debug)]
+struct RxSession {
+    sender: NodeId,
+    /// Our index in the MRTS order — our ABT reply slot.
+    slot: usize,
+    /// Whether the first bit of a following frame has arrived (cancels
+    /// `T_wf_rdata`).
+    carrier_seen: bool,
+}
+
+/// The RMAC MAC entity for one node.
+pub struct Rmac {
+    id: NodeId,
+    cfg: MacConfig,
+    state: State,
+    queue: VecDeque<TxRequest>,
+    job: Option<Job>,
+    backoff: Backoff,
+    rx: Option<RxSession>,
+    /// Pending ABT reply (slot timer armed even after the session closes).
+    abt_pending: bool,
+    /// When the WF_ABT collection window opened.
+    abt_window_start: SimTime,
+    next_seq: u32,
+    t_backoff: TimerSlot,
+    t_wf_rbt: TimerSlot,
+    t_wf_rdata: TimerSlot,
+    t_wf_abt: TimerSlot,
+    t_abt_start: TimerSlot,
+    t_abt_stop: TimerSlot,
+}
+
+impl Rmac {
+    /// A new RMAC entity for node `id`.
+    pub fn new(id: NodeId, cfg: MacConfig) -> Rmac {
+        Rmac {
+            id,
+            cfg,
+            state: State::Idle,
+            queue: VecDeque::new(),
+            job: None,
+            backoff: Backoff::new(cfg.cw_min, cfg.cw_max),
+            rx: None,
+            abt_pending: false,
+            abt_window_start: SimTime::ZERO,
+            next_seq: 0,
+            t_backoff: TimerSlot::new(),
+            t_wf_rbt: TimerSlot::new(),
+            t_wf_rdata: TimerSlot::new(),
+            t_wf_abt: TimerSlot::new(),
+            t_abt_start: TimerSlot::new(),
+            t_abt_stop: TimerSlot::new(),
+        }
+    }
+
+    /// Current protocol state (diagnostics and tests).
+    pub fn state(&self) -> State {
+        self.state
+    }
+
+    /// Remaining backoff interval, in slots.
+    pub fn bi(&self) -> u64 {
+        self.backoff.bi()
+    }
+
+    /// Current contention window, in slots.
+    pub fn cw(&self) -> u64 {
+        self.backoff.cw()
+    }
+
+    /// Pending requests (excluding the one in progress).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    // -----------------------------------------------------------------
+    // Helpers
+    // -----------------------------------------------------------------
+
+    fn channels_idle(&self, ctx: &dyn MacContext) -> bool {
+        !ctx.data_busy() && !ctx.tone_present(Tone::Rbt)
+    }
+
+    /// Pop the next queued request into `self.job`, expanding destinations.
+    /// Requests that need no transmission (empty receiver sets) complete
+    /// immediately and the next request is tried.
+    fn load_job(&mut self, ctx: &mut dyn MacContext) {
+        while self.job.is_none() {
+            let Some(req) = self.queue.pop_front() else {
+                return;
+            };
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            if req.reliable {
+                let mut receivers = match req.dest {
+                    Dest::Node(n) => vec![n],
+                    Dest::Group(ref g) => g.clone(),
+                    Dest::Broadcast => ctx.neighbors(),
+                };
+                receivers.retain(|&n| n != self.id);
+                receivers.dedup();
+                if receivers.is_empty() {
+                    ctx.notify(
+                        req.token,
+                        TxOutcome::Reliable {
+                            delivered: vec![],
+                            failed: vec![],
+                        },
+                    );
+                    continue;
+                }
+                let mut chunks: VecDeque<Vec<NodeId>> = receivers
+                    .chunks(self.cfg.max_receivers)
+                    .map(|c| c.to_vec())
+                    .collect();
+                let chunk = chunks.pop_front().expect("nonempty receivers");
+                self.job = Some(Job::Reliable(ReliableJob {
+                    token: req.token,
+                    payload: req.payload,
+                    seq,
+                    chunks,
+                    chunk,
+                    delivered: Vec::new(),
+                    failed: Vec::new(),
+                    retries: 0,
+                }));
+            } else {
+                self.job = Some(Job::Unreliable(UnreliableJob {
+                    token: req.token,
+                    payload: req.payload,
+                    dest: req.dest,
+                    seq,
+                }));
+            }
+        }
+    }
+
+    /// The IDLE-state dispatcher: start or resume backoff, or transmit.
+    /// Encodes conditions C1, C8, C9, C10 and the backoff-suspension rule.
+    fn try_progress(&mut self, ctx: &mut dyn MacContext) {
+        if self.state != State::Idle {
+            return;
+        }
+        self.load_job(ctx);
+        let idle = self.channels_idle(ctx);
+        if !idle {
+            // Condition (1) of §3.3.1: a packet is pending but a channel is
+            // busy — enter the backoff procedure (draw BI) and wait in IDLE
+            // for the channel to clear.
+            if self.job.is_some() && self.backoff.bi() == 0 {
+                self.backoff.draw(ctx.rng());
+            }
+            return;
+        }
+        if self.backoff.bi() > 0 {
+            // C8: both channels idle and BI not 0.
+            self.state = State::Backoff;
+            let gen = self.t_backoff.arm();
+            ctx.schedule(SLOT, TimerKind::BackoffSlot, gen);
+            return;
+        }
+        // BI == 0 and channels idle: transmit if something is pending
+        // (C1 / C10), else remain IDLE (C9 analogue).
+        if self.job.is_some() {
+            self.start_transmission(ctx);
+        }
+    }
+
+    fn start_transmission(&mut self, ctx: &mut dyn MacContext) {
+        match self.job.as_ref().expect("start_transmission without a job") {
+            Job::Reliable(_) => self.tx_mrts(ctx),
+            Job::Unreliable(_) => self.tx_unrdata(ctx),
+        }
+    }
+
+    fn tx_mrts(&mut self, ctx: &mut dyn MacContext) {
+        let Some(Job::Reliable(job)) = self.job.as_ref() else {
+            unreachable!("tx_mrts without a reliable job");
+        };
+        let frame = Frame::mrts(self.id, job.chunk.clone());
+        let c = ctx.counters();
+        c.mrts_tx += 1;
+        c.mrts_lengths.push(frame.length_bytes() as u32);
+        c.ctrl_airtime += frame.airtime();
+        self.state = State::TxMrts;
+        ctx.start_tx(frame);
+    }
+
+    fn tx_unrdata(&mut self, ctx: &mut dyn MacContext) {
+        let Some(Job::Unreliable(job)) = self.job.as_ref() else {
+            unreachable!("tx_unrdata without an unreliable job");
+        };
+        let frame = Frame::data_unreliable(self.id, job.dest.clone(), job.payload.clone(), job.seq);
+        ctx.counters().unreliable_data_airtime += frame.airtime();
+        self.state = State::TxUnrdata;
+        ctx.start_tx(frame);
+    }
+
+    /// Post-completion backoff (condition (3) of §3.3.1): every successful
+    /// transmission or frame drop is followed by a fresh backoff draw.
+    fn post_cycle(&mut self, ctx: &mut dyn MacContext) {
+        self.backoff.draw(ctx.rng());
+        self.state = State::Idle;
+        self.try_progress(ctx);
+    }
+
+    /// A Reliable Send attempt failed (MRTS aborted, no RBT detected, or
+    /// ABTs missing). Retries with doubled CW, or drops the chunk once the
+    /// retry limit is exhausted.
+    fn attempt_failed(&mut self, ctx: &mut dyn MacContext) {
+        let Some(Job::Reliable(job)) = self.job.as_mut() else {
+            unreachable!("attempt_failed without a reliable job");
+        };
+        job.retries += 1;
+        if job.retries > self.cfg.retry_limit {
+            // Drop the remaining receivers of this chunk.
+            let chunk = std::mem::take(&mut job.chunk);
+            job.failed.extend(chunk);
+            ctx.counters().drops += 1;
+            self.backoff.reset_cw();
+            self.next_chunk_or_finish(ctx);
+        } else {
+            ctx.counters().retransmissions += 1;
+            self.backoff.fail();
+            self.backoff.draw(ctx.rng());
+            self.state = State::Idle;
+            self.try_progress(ctx);
+        }
+    }
+
+    /// The current chunk finished (all ABTs seen, or dropped). Move to the
+    /// next §3.4 chunk, or report the job's outcome.
+    fn next_chunk_or_finish(&mut self, ctx: &mut dyn MacContext) {
+        let Some(Job::Reliable(job)) = self.job.as_mut() else {
+            unreachable!("next_chunk_or_finish without a reliable job");
+        };
+        if let Some(next) = job.chunks.pop_front() {
+            job.chunk = next;
+            job.retries = 0;
+            self.post_cycle(ctx);
+            return;
+        }
+        let job = match self.job.take() {
+            Some(Job::Reliable(j)) => j,
+            _ => unreachable!(),
+        };
+        ctx.notify(
+            job.token,
+            TxOutcome::Reliable {
+                delivered: job.delivered,
+                failed: job.failed,
+            },
+        );
+        self.post_cycle(ctx);
+    }
+
+    /// Tear down the receiver-side session (stop the RBT, clear timers).
+    fn end_rx_session(&mut self, ctx: &mut dyn MacContext) {
+        if self.rx.take().is_some() {
+            ctx.stop_tone(Tone::Rbt);
+        }
+        self.t_wf_rdata.cancel();
+        if self.state == State::WfRdata {
+            self.state = State::Idle;
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Frame handling
+    // -----------------------------------------------------------------
+
+    fn handle_frame(&mut self, ctx: &mut dyn MacContext, frame: &Frame, ok: bool) {
+        if !ok {
+            // A corrupted frame still ends a receiver session: whatever was
+            // arriving was not (or no longer is) the awaited data frame.
+            if self.state == State::WfRdata {
+                self.end_rx_session(ctx);
+                self.try_progress(ctx);
+            }
+            return;
+        }
+        // R_txoh counts control frames of one's *own* exchanges: frames
+        // transmitted (accounted at start_tx) plus received frames
+        // addressed to this node. Overheard foreign control does not
+        // occupy this node's transceiver on its behalf.
+        if frame.kind.is_control() && frame.addressed_to(self.id) {
+            ctx.counters().ctrl_airtime += frame.airtime();
+        }
+        match frame.kind {
+            FrameKind::Mrts => self.handle_mrts(ctx, frame),
+            FrameKind::DataReliable => self.handle_reliable_data(ctx, frame),
+            FrameKind::DataUnreliable => self.handle_unreliable_data(ctx, frame),
+            // 802.11-family control frames belong to the baselines; RMAC
+            // discards the virtual carrier-sense machinery entirely.
+            _ => {}
+        }
+    }
+
+    fn handle_mrts(&mut self, ctx: &mut dyn MacContext, frame: &Frame) {
+        // Frame reception happens in IDLE (the paper's appendix); BACKOFF
+        // is included because receiving implies the data channel was busy,
+        // which suspends the countdown back into IDLE.
+        if !matches!(self.state, State::Idle | State::Backoff) {
+            return;
+        }
+        let Some(slot) = frame.mrts_slot_of(self.id) else {
+            return; // not an intended receiver
+        };
+        if self.state == State::Backoff {
+            self.t_backoff.cancel();
+        }
+        // C3: MRTS correctly received → raise the RBT and wait for data.
+        self.rx = Some(RxSession {
+            sender: frame.src,
+            slot,
+            carrier_seen: false,
+        });
+        ctx.start_tone(Tone::Rbt);
+        let gen = self.t_wf_rdata.arm();
+        ctx.schedule(T_WF_RDATA, TimerKind::WfRdata, gen);
+        self.state = State::WfRdata;
+    }
+
+    fn handle_reliable_data(&mut self, ctx: &mut dyn MacContext, frame: &Frame) {
+        match self.state {
+            State::WfRdata => {
+                let session_ok = self
+                    .rx
+                    .as_ref()
+                    .is_some_and(|rx| rx.sender == frame.src && frame.addressed_to(self.id));
+                if session_ok {
+                    let slot = self.rx.as_ref().expect("session checked").slot;
+                    ctx.deliver(frame.clone());
+                    ctx.counters().delivered_up += 1;
+                    // Reply the ABT in our assigned slot (step 5 of §3.3.2).
+                    let gen = self.t_abt_start.arm();
+                    ctx.schedule(L_ABT.mul(slot as u64), TimerKind::AbtStart, gen);
+                    self.abt_pending = true;
+                }
+                self.end_rx_session(ctx);
+                self.try_progress(ctx);
+            }
+            State::Idle | State::Backoff
+                // A retransmission addressed to us after our session timed
+                // out: accept the data (the net layer deduplicates), but
+                // without a session there is no ABT slot to answer in.
+                if frame.addressed_to(self.id) => {
+                    ctx.deliver(frame.clone());
+                    ctx.counters().delivered_up += 1;
+                }
+            _ => {}
+        }
+    }
+
+    fn handle_unreliable_data(&mut self, ctx: &mut dyn MacContext, frame: &Frame) {
+        if !matches!(self.state, State::Idle | State::Backoff) {
+            return;
+        }
+        if frame.addressed_to(self.id) {
+            ctx.deliver(frame.clone());
+            ctx.counters().delivered_up += 1;
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Timer handling
+    // -----------------------------------------------------------------
+
+    fn on_backoff_slot(&mut self, ctx: &mut dyn MacContext) {
+        if self.state != State::Backoff {
+            return;
+        }
+        if !self.channels_idle(ctx) {
+            // Suspend: BI is retained, countdown resumes when both
+            // channels go idle again (§3.3.1).
+            self.state = State::Idle;
+            return;
+        }
+        if self.backoff.tick() {
+            // C14/C6: BI reached 0 — transmit, or fall back to IDLE.
+            self.state = State::Idle;
+            self.try_progress(ctx);
+        } else {
+            let gen = self.t_backoff.arm();
+            ctx.schedule(SLOT, TimerKind::BackoffSlot, gen);
+        }
+    }
+
+    fn on_wf_rbt(&mut self, ctx: &mut dyn MacContext) {
+        if self.state != State::WfRbt {
+            return;
+        }
+        let log = ctx.close_tone_watch(Tone::Rbt);
+        if log.max_on() >= LAMBDA {
+            // C18: RBT detected — transmit the reliable data frame.
+            let Some(Job::Reliable(job)) = self.job.as_ref() else {
+                unreachable!("WF_RBT without a reliable job");
+            };
+            let frame = Frame::data_reliable(
+                self.id,
+                Dest::Group(job.chunk.clone()),
+                job.payload.clone(),
+                job.seq,
+            );
+            ctx.counters().reliable_data_airtime += frame.airtime();
+            self.state = State::TxRdata;
+            ctx.start_tx(frame);
+        } else {
+            // C12/C15: no RBT arrived — the MRTS was lost; retry.
+            self.attempt_failed(ctx);
+        }
+    }
+
+    fn on_wf_rdata(&mut self, ctx: &mut dyn MacContext) {
+        if self.state != State::WfRdata {
+            return;
+        }
+        // The first bit of the data frame did not arrive in time: lower
+        // the RBT and return to normal operation (C4/C7).
+        self.end_rx_session(ctx);
+        self.try_progress(ctx);
+    }
+
+    fn on_wf_abt(&mut self, ctx: &mut dyn MacContext) {
+        if self.state != State::WfAbt {
+            return;
+        }
+        let log = ctx.close_tone_watch(Tone::Abt);
+        let t0 = self.abt_window_start;
+        let Some(Job::Reliable(job)) = self.job.as_mut() else {
+            unreachable!("WF_ABT without a reliable job");
+        };
+        let mut missing = Vec::new();
+        let mut acked = Vec::new();
+        for (i, &node) in job.chunk.iter().enumerate() {
+            let a = t0 + L_ABT.mul(i as u64);
+            let b = t0 + L_ABT.mul(i as u64 + 1);
+            if log.detected_within(a, b, LAMBDA) {
+                acked.push(node);
+            } else {
+                missing.push(node);
+            }
+        }
+        job.delivered.extend(acked);
+        if missing.is_empty() {
+            // Step 6 of §3.3.2: every intended receiver answered.
+            self.backoff.reset_cw();
+            self.next_chunk_or_finish(ctx);
+        } else {
+            // Rebuild the MRTS around the silent receivers and retry.
+            job.chunk = missing;
+            self.attempt_failed(ctx);
+        }
+    }
+
+    fn on_tx_done(&mut self, ctx: &mut dyn MacContext, frame: &Frame, aborted: bool) {
+        match self.state {
+            State::TxMrts => {
+                if aborted {
+                    // §3.3.2 step 3: aborted on sensing an RBT. Counted as
+                    // a failed attempt (retry with grown CW).
+                    self.attempt_failed(ctx);
+                } else {
+                    // C17: MRTS complete → wait for the RBT.
+                    self.state = State::WfRbt;
+                    ctx.open_tone_watch(Tone::Rbt);
+                    let gen = self.t_wf_rbt.arm();
+                    ctx.schedule(T_WF, TimerKind::WfRbt, gen);
+                }
+            }
+            State::TxRdata => {
+                // C19: data complete → collect the ordered ABTs.
+                let n = match self.job.as_ref() {
+                    Some(Job::Reliable(job)) => job.chunk.len() as u64,
+                    _ => unreachable!("TX_RDATA without a reliable job"),
+                };
+                self.state = State::WfAbt;
+                self.abt_window_start = ctx.now();
+                ctx.open_tone_watch(Tone::Abt);
+                ctx.counters().abt_check_time += L_ABT.mul(n);
+                let gen = self.t_wf_abt.arm();
+                ctx.schedule(L_ABT.mul(n), TimerKind::WfAbt, gen);
+            }
+            State::TxUnrdata => {
+                // C2/C5: fire-and-forget completes either way.
+                let token = match self.job.take() {
+                    Some(Job::Unreliable(j)) => j.token,
+                    _ => unreachable!("TX_UNRDATA without an unreliable job"),
+                };
+                ctx.notify(token, TxOutcome::Sent);
+                self.post_cycle(ctx);
+            }
+            _ => {
+                debug_assert!(false, "TxDone in state {:?} for {:?}", self.state, frame.kind);
+            }
+        }
+    }
+}
+
+impl MacService for Rmac {
+    fn submit(&mut self, ctx: &mut dyn MacContext, req: TxRequest) {
+        if self.queue.len() >= self.cfg.queue_capacity {
+            ctx.counters().queue_rejections += 1;
+            ctx.notify(req.token, TxOutcome::Rejected);
+            return;
+        }
+        if req.reliable {
+            ctx.counters().reliable_accepted += 1;
+        } else {
+            ctx.counters().unreliable_accepted += 1;
+        }
+        self.queue.push_back(req);
+        self.try_progress(ctx);
+    }
+
+    fn on_indication(&mut self, ctx: &mut dyn MacContext, ind: &Indication) {
+        match ind {
+            Indication::CarrierOn { .. } => {
+                if self.state == State::WfRdata {
+                    let mut first_bit = false;
+                    if let Some(rx) = self.rx.as_mut() {
+                        if !rx.carrier_seen {
+                            // First bit of the data frame: cancel T_wf_rdata
+                            // and hold the RBT until the reception ends.
+                            rx.carrier_seen = true;
+                            first_bit = true;
+                            self.t_wf_rdata.cancel();
+                        }
+                    }
+                    if first_bit && !self.cfg.rbt_data_protection {
+                        // Ablation X2: the RBT only answers the MRTS; it is
+                        // lowered as soon as the data frame starts, leaving
+                        // the reception unprotected against hidden nodes.
+                        ctx.stop_tone(Tone::Rbt);
+                    }
+                }
+            }
+            Indication::CarrierOff { .. } => {
+                self.try_progress(ctx);
+            }
+            Indication::ToneChanged { tone, present, .. } => {
+                if *tone == Tone::Rbt && *present {
+                    // §3.3.2 step 3 (and §3.3.3 step 2): abort in-flight
+                    // MRTS / unreliable data on sensing an RBT, protecting
+                    // the reception at whoever raised it.
+                    if self.state == State::TxMrts {
+                        ctx.counters().mrts_aborted += 1;
+                        ctx.abort_tx();
+                    } else if self.state == State::TxUnrdata {
+                        ctx.abort_tx();
+                    }
+                }
+                if *tone == Tone::Rbt && !*present {
+                    self.try_progress(ctx);
+                }
+            }
+            Indication::FrameRx { frame, ok, .. } => {
+                self.handle_frame(ctx, frame, *ok);
+            }
+            Indication::TxDone { frame, aborted, .. } => {
+                self.on_tx_done(ctx, frame, *aborted);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut dyn MacContext, kind: TimerKind, gen: u64) {
+        match kind {
+            TimerKind::BackoffSlot => {
+                if self.t_backoff.disarm_if(gen) {
+                    self.on_backoff_slot(ctx);
+                }
+            }
+            TimerKind::WfRbt => {
+                if self.t_wf_rbt.disarm_if(gen) {
+                    self.on_wf_rbt(ctx);
+                }
+            }
+            TimerKind::WfRdata => {
+                if self.t_wf_rdata.disarm_if(gen) {
+                    self.on_wf_rdata(ctx);
+                }
+            }
+            TimerKind::WfAbt => {
+                if self.t_wf_abt.disarm_if(gen) {
+                    self.on_wf_abt(ctx);
+                }
+            }
+            TimerKind::AbtStart => {
+                if self.t_abt_start.disarm_if(gen) {
+                    self.abt_pending = false;
+                    ctx.start_tone(Tone::Abt);
+                    let g = self.t_abt_stop.arm();
+                    ctx.schedule(L_ABT, TimerKind::AbtStop, g);
+                }
+            }
+            TimerKind::AbtStop => {
+                if self.t_abt_stop.disarm_if(gen) {
+                    ctx.stop_tone(Tone::Abt);
+                }
+            }
+            // Baseline-only timers never reach RMAC.
+            TimerKind::AwaitResponse | TimerKind::Ifs | TimerKind::RespIfs | TimerKind::Nav => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,879 @@
+//! Unit tests for the RMAC state machine, including the Table 1 transition
+//! conditions, driven through a scripted mock context.
+
+use bytes::Bytes;
+use rmac_phy::{Indication, Tone};
+use rmac_sim::SimTime;
+use rmac_wire::consts::{L_ABT, T_WF};
+use rmac_wire::{Dest, Frame, FrameKind, NodeId};
+
+use crate::api::{MacService, TimerKind, TxOutcome, TxRequest};
+use crate::config::MacConfig;
+use crate::rmac::{Rmac, State};
+
+fn n(i: u16) -> NodeId {
+    NodeId(i)
+}
+
+use crate::testkit::{Action, Mock};
+
+/// Run a node's backoff to completion (fires slot timers until the MAC
+/// leaves BACKOFF). Channels stay idle throughout.
+fn drain_backoff(m: &mut Mock, mac: &mut Rmac) {
+    let mut guard = 0;
+    while mac.state() == State::Backoff {
+        m.fire(mac, TimerKind::BackoffSlot);
+        guard += 1;
+        assert!(guard < 5000, "backoff never completed");
+    }
+}
+
+fn mac(id: u16) -> Rmac {
+    Rmac::new(n(id), MacConfig::default())
+}
+
+fn reliable_req(dest: Dest, token: u64) -> TxRequest {
+    TxRequest {
+        reliable: true,
+        dest,
+        payload: Bytes::from_static(b"payload"),
+        token,
+    }
+}
+
+fn unreliable_req(dest: Dest, token: u64) -> TxRequest {
+    TxRequest {
+        reliable: false,
+        dest,
+        payload: Bytes::from_static(b"beacon"),
+        token,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sender side
+// ---------------------------------------------------------------------
+
+/// C1: idle channels, BI = 0 → an unreliable request transmits at once.
+#[test]
+fn c1_unreliable_transmits_immediately_when_idle() {
+    let mut m = Mock::new();
+    let mut r = mac(0);
+    r.submit(&mut m, unreliable_req(Dest::Broadcast, 7));
+    assert_eq!(r.state(), State::TxUnrdata);
+    assert_eq!(m.actions, vec![Action::StartTx(FrameKind::DataUnreliable)]);
+    // C5: after transmission (channels idle) → post-tx backoff.
+    m.finish_tx(&mut r, false);
+    assert_eq!(m.notifications, vec![(7, TxOutcome::Sent)]);
+    assert!(matches!(r.state(), State::Idle | State::Backoff));
+}
+
+/// C10: idle channels, reliable request → TX_MRTS with the right order.
+#[test]
+fn c10_reliable_transmits_mrts() {
+    let mut m = Mock::new();
+    let mut r = mac(0);
+    r.submit(&mut m, reliable_req(Dest::Group(vec![n(1), n(2)]), 1));
+    assert_eq!(r.state(), State::TxMrts);
+    let f = m.last_tx();
+    assert_eq!(f.kind, FrameKind::Mrts);
+    assert_eq!(f.order, vec![n(1), n(2)]);
+    assert_eq!(m.counters.mrts_tx, 1);
+    assert_eq!(m.counters.mrts_lengths, vec![24]); // 12 + 2·6
+}
+
+/// Condition (1) of §3.3.1: packet pending but channel busy → defer in
+/// IDLE with a drawn BI, resume via backoff when the channel clears.
+#[test]
+fn busy_channel_defers_then_backoff_transmits() {
+    let mut m = Mock::new();
+    m.data_busy = true;
+    let mut r = mac(0);
+    r.submit(&mut m, reliable_req(Dest::Node(n(1)), 1));
+    assert_eq!(r.state(), State::Idle);
+    assert!(m.actions.is_empty());
+    // Channel clears.
+    m.data_busy = false;
+    r.on_indication(&mut m, &Indication::CarrierOff { node: n(0) });
+    // Either straight to TX (BI drawn 0) or via BACKOFF countdown.
+    drain_backoff(&mut m, &mut r);
+    assert_eq!(r.state(), State::TxMrts);
+}
+
+/// An RBT on the tone channel defers transmission exactly like a busy data
+/// channel (the backoff senses both).
+#[test]
+fn rbt_presence_defers_transmission() {
+    let mut m = Mock::new();
+    m.tone[Tone::Rbt.idx()] = true;
+    let mut r = mac(0);
+    r.submit(&mut m, reliable_req(Dest::Node(n(1)), 1));
+    assert_eq!(r.state(), State::Idle);
+    m.tone[Tone::Rbt.idx()] = false;
+    r.on_indication(
+        &mut m,
+        &Indication::ToneChanged {
+            node: n(0),
+            tone: Tone::Rbt,
+            present: false,
+        },
+    );
+    drain_backoff(&mut m, &mut r);
+    assert_eq!(r.state(), State::TxMrts);
+}
+
+/// Backoff suspends (BACKOFF → IDLE) when a slot boundary finds a busy
+/// channel, retaining BI.
+#[test]
+fn backoff_suspends_on_busy_slot() {
+    let mut m = Mock::new();
+    m.data_busy = true;
+    let mut r = mac(0);
+    r.submit(&mut m, reliable_req(Dest::Node(n(1)), 1));
+    // Force a known BI by redrawing until it is large enough.
+    m.data_busy = false;
+    r.on_indication(&mut m, &Indication::CarrierOff { node: n(0) });
+    if r.state() != State::Backoff {
+        // BI was drawn 0 — the request transmitted; nothing to suspend.
+        return;
+    }
+    let bi_before = r.bi();
+    m.data_busy = true;
+    m.fire(&mut r, TimerKind::BackoffSlot);
+    assert_eq!(r.state(), State::Idle);
+    assert_eq!(r.bi(), bi_before, "BI must be retained on suspension");
+}
+
+/// Full successful Reliable Send: MRTS → RBT detected → data → all ABTs.
+#[test]
+fn reliable_send_happy_path() {
+    let mut m = Mock::new();
+    let mut r = mac(0);
+    r.submit(&mut m, reliable_req(Dest::Group(vec![n(1), n(2)]), 9));
+    assert_eq!(r.state(), State::TxMrts);
+    // C17: MRTS done → WF_RBT.
+    m.finish_tx(&mut r, false);
+    assert_eq!(r.state(), State::WfRbt);
+    assert!(m.has_timer(TimerKind::WfRbt));
+    // C18: RBT detected → TX_RDATA.
+    m.preset_on(Tone::Rbt, m.now, T_WF);
+    m.fire(&mut r, TimerKind::WfRbt);
+    assert_eq!(r.state(), State::TxRdata);
+    let f = m.last_tx();
+    assert_eq!(f.kind, FrameKind::DataReliable);
+    assert_eq!(f.dest, Dest::Group(vec![n(1), n(2)]));
+    // C19: data done → WF_ABT over 2 slots.
+    m.finish_tx(&mut r, false);
+    assert_eq!(r.state(), State::WfAbt);
+    assert_eq!(m.counters.abt_check_time, L_ABT.mul(2));
+    // Both receivers answer.
+    m.preset_abt_slots(r_window_start(&m), 2, &[0, 1]);
+    m.fire(&mut r, TimerKind::WfAbt);
+    assert_eq!(
+        m.notifications,
+        vec![(
+            9,
+            TxOutcome::Reliable {
+                delivered: vec![n(1), n(2)],
+                failed: vec![],
+            }
+        )]
+    );
+    assert!(matches!(r.state(), State::Idle | State::Backoff));
+    assert_eq!(m.counters.retransmissions, 0);
+    assert_eq!(m.counters.drops, 0);
+}
+
+/// The ABT collection window opens when the data TxDone fires; its start
+/// equals the mock clock at that moment. Helper for slot arithmetic.
+fn r_window_start(m: &Mock) -> SimTime {
+    m.now
+}
+
+/// C12/C15: no RBT detected → retransmission with doubled CW; after the
+/// retry limit the packet is dropped and CW resets.
+#[test]
+fn no_rbt_retries_then_drops() {
+    let mut m = Mock::new();
+    let mut r = mac(0);
+    let limit = MacConfig::default().retry_limit;
+    r.submit(&mut m, reliable_req(Dest::Node(n(1)), 4));
+    let mut cw_prev = r.cw();
+    for attempt in 0..=limit {
+        assert_eq!(r.state(), State::TxMrts, "attempt {attempt}");
+        m.finish_tx(&mut r, false);
+        m.preset_silent(Tone::Rbt, m.now, T_WF);
+        m.fire(&mut r, TimerKind::WfRbt);
+        if attempt < limit {
+            assert_eq!(m.counters.retransmissions, u64::from(attempt) + 1);
+            assert!(r.cw() > cw_prev || r.cw() == 1023, "CW must grow");
+            cw_prev = r.cw();
+            drain_backoff(&mut m, &mut r);
+        }
+    }
+    // Dropped after the final failed attempt.
+    assert_eq!(m.counters.drops, 1);
+    assert_eq!(
+        m.notifications,
+        vec![(
+            4,
+            TxOutcome::Reliable {
+                delivered: vec![],
+                failed: vec![n(1)],
+            }
+        )]
+    );
+    assert_eq!(r.cw(), 31, "CW resets after a drop");
+}
+
+/// Step 5–6 of §3.3.2: only silent receivers are retried, and the rebuilt
+/// MRTS lists exactly those.
+#[test]
+fn missing_abt_retransmits_to_silent_receivers_only() {
+    let mut m = Mock::new();
+    let mut r = mac(0);
+    r.submit(&mut m, reliable_req(Dest::Group(vec![n(1), n(2), n(3)]), 5));
+    m.finish_tx(&mut r, false);
+    m.preset_on(Tone::Rbt, m.now, T_WF);
+    m.fire(&mut r, TimerKind::WfRbt);
+    m.finish_tx(&mut r, false);
+    // Slots 0 and 2 answer; slot 1 (node 2) stays silent.
+    m.preset_abt_slots(m.now, 3, &[0, 2]);
+    m.fire(&mut r, TimerKind::WfAbt);
+    assert_eq!(m.counters.retransmissions, 1);
+    drain_backoff(&mut m, &mut r);
+    assert_eq!(r.state(), State::TxMrts);
+    assert_eq!(m.last_tx().order, vec![n(2)]);
+    // Node 2 answers on the retry.
+    m.finish_tx(&mut r, false);
+    m.preset_on(Tone::Rbt, m.now, T_WF);
+    m.fire(&mut r, TimerKind::WfRbt);
+    m.finish_tx(&mut r, false);
+    m.preset_abt_slots(m.now, 1, &[0]);
+    m.fire(&mut r, TimerKind::WfAbt);
+    let (_, outcome) = &m.notifications[0];
+    match outcome {
+        TxOutcome::Reliable { delivered, failed } => {
+            let mut d = delivered.clone();
+            d.sort();
+            assert_eq!(d, vec![n(1), n(2), n(3)]);
+            assert!(failed.is_empty());
+        }
+        other => panic!("unexpected outcome {other:?}"),
+    }
+}
+
+/// §3.3.2 step 3: sensing an RBT during MRTS transmission aborts it.
+#[test]
+fn mrts_aborts_on_rbt() {
+    let mut m = Mock::new();
+    let mut r = mac(0);
+    r.submit(&mut m, reliable_req(Dest::Node(n(1)), 2));
+    assert_eq!(r.state(), State::TxMrts);
+    r.on_indication(
+        &mut m,
+        &Indication::ToneChanged {
+            node: n(0),
+            tone: Tone::Rbt,
+            present: true,
+        },
+    );
+    assert!(m.actions.contains(&Action::AbortTx));
+    assert_eq!(m.counters.mrts_aborted, 1);
+    // PHY reports the aborted completion; the MAC retries.
+    m.tone[Tone::Rbt.idx()] = true; // tone still present → defer in IDLE
+    m.finish_tx(&mut r, true);
+    assert_eq!(r.state(), State::Idle);
+    assert_eq!(m.counters.retransmissions, 1);
+}
+
+/// §3.3.3 step 2: an unreliable frame aborts on RBT and is simply gone.
+#[test]
+fn unreliable_aborts_on_rbt_without_retry() {
+    let mut m = Mock::new();
+    let mut r = mac(0);
+    r.submit(&mut m, unreliable_req(Dest::Broadcast, 3));
+    assert_eq!(r.state(), State::TxUnrdata);
+    r.on_indication(
+        &mut m,
+        &Indication::ToneChanged {
+            node: n(0),
+            tone: Tone::Rbt,
+            present: true,
+        },
+    );
+    assert!(m.actions.contains(&Action::AbortTx));
+    m.finish_tx(&mut r, true);
+    assert_eq!(m.notifications, vec![(3, TxOutcome::Sent)]);
+    assert_eq!(m.counters.retransmissions, 0);
+}
+
+/// §3.4: more receivers than the limit are split over several invocations.
+#[test]
+fn receiver_limit_splits_into_chunks() {
+    let mut m = Mock::new();
+    let mut r = mac(0);
+    let receivers: Vec<NodeId> = (1..=45).map(n).collect();
+    r.submit(&mut m, reliable_req(Dest::Group(receivers.clone()), 6));
+    let mut seen: Vec<NodeId> = Vec::new();
+    for expect_len in [20usize, 20, 5] {
+        drain_backoff(&mut m, &mut r);
+        assert_eq!(r.state(), State::TxMrts);
+        let order = m.last_tx().order.clone();
+        assert_eq!(order.len(), expect_len);
+        seen.extend(&order);
+        m.finish_tx(&mut r, false);
+        m.preset_on(Tone::Rbt, m.now, T_WF);
+        m.fire(&mut r, TimerKind::WfRbt);
+        m.finish_tx(&mut r, false);
+        let all: Vec<usize> = (0..expect_len).collect();
+        m.preset_abt_slots(m.now, expect_len, &all);
+        m.fire(&mut r, TimerKind::WfAbt);
+    }
+    assert_eq!(seen, receivers);
+    match &m.notifications[0].1 {
+        TxOutcome::Reliable { delivered, failed } => {
+            assert_eq!(delivered.len(), 45);
+            assert!(failed.is_empty());
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+/// Reliable broadcast expands to the current one-hop neighbor set.
+#[test]
+fn reliable_broadcast_uses_neighbors() {
+    let mut m = Mock::new();
+    m.neighbor_list = vec![n(4), n(9)];
+    let mut r = mac(0);
+    r.submit(&mut m, reliable_req(Dest::Broadcast, 8));
+    assert_eq!(r.state(), State::TxMrts);
+    assert_eq!(m.last_tx().order, vec![n(4), n(9)]);
+}
+
+/// A reliable send with no receivers completes vacuously.
+#[test]
+fn empty_group_completes_immediately() {
+    let mut m = Mock::new();
+    let mut r = mac(0);
+    r.submit(&mut m, reliable_req(Dest::Group(vec![]), 11));
+    assert_eq!(
+        m.notifications,
+        vec![(
+            11,
+            TxOutcome::Reliable {
+                delivered: vec![],
+                failed: vec![],
+            }
+        )]
+    );
+    assert!(m.actions.is_empty());
+}
+
+/// Queue overflow rejects the request.
+#[test]
+fn queue_overflow_rejects() {
+    let mut m = Mock::new();
+    m.data_busy = true; // nothing can transmit
+    let cfg = MacConfig {
+        queue_capacity: 2,
+        ..MacConfig::default()
+    };
+    let mut r = Rmac::new(n(0), cfg);
+    // The first request is immediately loaded as the in-progress job, so
+    // `capacity` bounds the *waiting* requests behind it.
+    for t in 0..4 {
+        r.submit(&mut m, reliable_req(Dest::Node(n(1)), t));
+    }
+    assert_eq!(m.counters.queue_rejections, 1);
+    assert_eq!(m.notifications, vec![(3, TxOutcome::Rejected)]);
+}
+
+// ---------------------------------------------------------------------
+// Receiver side
+// ---------------------------------------------------------------------
+
+/// C3: a correctly received MRTS listing this node raises the RBT and
+/// arms `T_wf_rdata`.
+#[test]
+fn mrts_reception_raises_rbt() {
+    let mut m = Mock::new();
+    let mut r = mac(2);
+    let mrts = Frame::mrts(n(0), vec![n(1), n(2)]);
+    m.rx_frame(&mut r, n(2), mrts, true);
+    assert_eq!(r.state(), State::WfRdata);
+    assert_eq!(m.actions, vec![Action::ToneOn(Tone::Rbt)]);
+    assert!(m.has_timer(TimerKind::WfRdata));
+}
+
+/// An MRTS not listing this node is ignored (no NAV in RMAC).
+#[test]
+fn unaddressed_mrts_ignored() {
+    let mut m = Mock::new();
+    let mut r = mac(7);
+    let mrts = Frame::mrts(n(0), vec![n(1), n(2)]);
+    m.rx_frame(&mut r, n(7), mrts, true);
+    assert_eq!(r.state(), State::Idle);
+    assert!(m.actions.is_empty());
+}
+
+/// A corrupted MRTS is silently lost (the sender's T_wf_rbt handles it).
+#[test]
+fn corrupted_mrts_ignored() {
+    let mut m = Mock::new();
+    let mut r = mac(2);
+    let mrts = Frame::mrts(n(0), vec![n(2)]);
+    m.rx_frame(&mut r, n(2), mrts, false);
+    assert_eq!(r.state(), State::Idle);
+    assert!(m.actions.is_empty());
+}
+
+/// C4/C7 timeout arm: no data frame arrives → RBT stops at `T_wf_rdata`.
+#[test]
+fn wf_rdata_timeout_stops_rbt() {
+    let mut m = Mock::new();
+    let mut r = mac(2);
+    m.rx_frame(&mut r, n(2), Frame::mrts(n(0), vec![n(2)]), true);
+    m.fire(&mut r, TimerKind::WfRdata);
+    assert_eq!(r.state(), State::Idle);
+    assert_eq!(
+        m.actions,
+        vec![Action::ToneOn(Tone::Rbt), Action::ToneOff(Tone::Rbt)]
+    );
+}
+
+/// Steps 4–5 of §3.3.2 on the receiver: data received → deliver, stop RBT,
+/// reply ABT in slot i.
+#[test]
+fn data_reception_delivers_and_replies_abt_in_slot() {
+    let mut m = Mock::new();
+    let mut r = mac(2);
+    // Node 2 is the *second* receiver (slot index 1).
+    m.rx_frame(&mut r, n(2), Frame::mrts(n(0), vec![n(1), n(2)]), true);
+    // First bit of the data frame cancels T_wf_rdata.
+    r.on_indication(&mut m, &Indication::CarrierOn { node: n(2) });
+    let data = Frame::data_reliable(
+        n(0),
+        Dest::Group(vec![n(1), n(2)]),
+        Bytes::from_static(b"x"),
+        0,
+    );
+    let t_data_end = m.now;
+    m.rx_frame(&mut r, n(2), data, true);
+    assert_eq!(m.delivered.len(), 1);
+    assert!(m.actions.contains(&Action::ToneOff(Tone::Rbt)));
+    assert_eq!(r.state(), State::Idle);
+    // ABT must start exactly at slot · l_abt after the data end.
+    let (at, kind, _) = *m
+        .timers
+        .iter()
+        .find(|&&(_, k, _)| k == TimerKind::AbtStart)
+        .expect("ABT start timer");
+    assert_eq!(kind, TimerKind::AbtStart);
+    assert_eq!(at, t_data_end + L_ABT.mul(1));
+    m.fire(&mut r, TimerKind::AbtStart);
+    assert!(m.actions.contains(&Action::ToneOn(Tone::Abt)));
+    m.fire(&mut r, TimerKind::AbtStop);
+    assert!(m.actions.contains(&Action::ToneOff(Tone::Abt)));
+}
+
+/// Slot 0 receivers reply immediately (delay 0).
+#[test]
+fn first_receiver_replies_abt_immediately() {
+    let mut m = Mock::new();
+    let mut r = mac(1);
+    m.rx_frame(&mut r, n(1), Frame::mrts(n(0), vec![n(1), n(2)]), true);
+    r.on_indication(&mut m, &Indication::CarrierOn { node: n(1) });
+    let data = Frame::data_reliable(
+        n(0),
+        Dest::Group(vec![n(1), n(2)]),
+        Bytes::from_static(b"x"),
+        0,
+    );
+    let t_end = m.now;
+    m.rx_frame(&mut r, n(1), data, true);
+    let (at, _, _) = *m
+        .timers
+        .iter()
+        .find(|&&(_, k, _)| k == TimerKind::AbtStart)
+        .unwrap();
+    assert_eq!(at, t_end);
+}
+
+/// Data from the wrong sender ends the session without an ABT.
+#[test]
+fn wrong_sender_data_gives_no_abt() {
+    let mut m = Mock::new();
+    let mut r = mac(2);
+    m.rx_frame(&mut r, n(2), Frame::mrts(n(0), vec![n(2)]), true);
+    let foreign = Frame::data_reliable(n(5), Dest::Group(vec![n(2)]), Bytes::new(), 0);
+    m.rx_frame(&mut r, n(2), foreign, true);
+    assert_eq!(r.state(), State::Idle);
+    assert!(!m.has_timer(TimerKind::AbtStart));
+    assert!(m.actions.contains(&Action::ToneOff(Tone::Rbt)));
+}
+
+/// A corrupted frame during WF_RDATA ends the session.
+#[test]
+fn corrupted_data_ends_session() {
+    let mut m = Mock::new();
+    let mut r = mac(2);
+    m.rx_frame(&mut r, n(2), Frame::mrts(n(0), vec![n(2)]), true);
+    r.on_indication(&mut m, &Indication::CarrierOn { node: n(2) });
+    let data = Frame::data_reliable(n(0), Dest::Group(vec![n(2)]), Bytes::new(), 0);
+    m.rx_frame(&mut r, n(2), data, false);
+    assert_eq!(r.state(), State::Idle);
+    assert!(!m.has_timer(TimerKind::AbtStart));
+    assert_eq!(m.delivered.len(), 0);
+}
+
+/// A late retransmission (session expired) is still delivered — the net
+/// layer deduplicates — but cannot be ABT-acknowledged.
+#[test]
+fn late_data_delivered_without_abt() {
+    let mut m = Mock::new();
+    let mut r = mac(2);
+    let data = Frame::data_reliable(n(0), Dest::Group(vec![n(2)]), Bytes::new(), 3);
+    m.rx_frame(&mut r, n(2), data, true);
+    assert_eq!(m.delivered.len(), 1);
+    assert!(!m.has_timer(TimerKind::AbtStart));
+}
+
+/// Unreliable data is delivered by destination match (§3.3.3 step 3).
+#[test]
+fn unreliable_data_filtered_by_destination() {
+    let mut m = Mock::new();
+    let mut r = mac(2);
+    let to_me = Frame::data_unreliable(n(0), Dest::Node(n(2)), Bytes::new(), 0);
+    let to_other = Frame::data_unreliable(n(0), Dest::Node(n(3)), Bytes::new(), 1);
+    let bcast = Frame::data_unreliable(n(0), Dest::Broadcast, Bytes::new(), 2);
+    m.rx_frame(&mut r, n(2), to_me, true);
+    m.rx_frame(&mut r, n(2), to_other, true);
+    m.rx_frame(&mut r, n(2), bcast, true);
+    assert_eq!(m.delivered.len(), 2);
+}
+
+/// Reception happens only in IDLE/BACKOFF: a sender waiting in WF_RBT
+/// ignores a foreign MRTS.
+#[test]
+fn no_reception_outside_idle() {
+    let mut m = Mock::new();
+    let mut r = mac(0);
+    r.submit(&mut m, reliable_req(Dest::Node(n(1)), 1));
+    m.finish_tx(&mut r, false); // now WF_RBT
+    assert_eq!(r.state(), State::WfRbt);
+    let mrts = Frame::mrts(n(5), vec![n(0)]);
+    m.rx_frame(&mut r, n(0), mrts, true);
+    assert_eq!(r.state(), State::WfRbt, "must not hijack the sender FSM");
+    assert!(!m.actions.contains(&Action::ToneOn(Tone::Rbt)));
+}
+
+/// Post-completion backoff (condition 3): two queued packets are separated
+/// by a backoff procedure.
+#[test]
+fn successive_sends_are_separated_by_backoff() {
+    let mut m = Mock::new();
+    let mut r = mac(0);
+    r.submit(&mut m, unreliable_req(Dest::Broadcast, 1));
+    r.submit(&mut m, unreliable_req(Dest::Broadcast, 2));
+    assert_eq!(r.state(), State::TxUnrdata);
+    m.finish_tx(&mut r, false);
+    // The second packet must not be on the air yet unless BI drew 0.
+    if r.state() == State::Backoff {
+        assert!(r.bi() > 0);
+        drain_backoff(&mut m, &mut r);
+    }
+    assert_eq!(r.state(), State::TxUnrdata);
+    m.finish_tx(&mut r, false);
+    assert_eq!(m.notifications.len(), 2);
+}
+
+/// The ablation switch: with `rbt_data_protection` off, the RBT drops as
+/// soon as the data frame starts arriving.
+#[test]
+fn ablation_rbt_drops_at_first_bit() {
+    let mut m = Mock::new();
+    let cfg = MacConfig {
+        rbt_data_protection: false,
+        ..MacConfig::default()
+    };
+    let mut r = Rmac::new(n(2), cfg);
+    m.rx_frame(&mut r, n(2), Frame::mrts(n(0), vec![n(2)]), true);
+    assert_eq!(m.actions, vec![Action::ToneOn(Tone::Rbt)]);
+    r.on_indication(&mut m, &Indication::CarrierOn { node: n(2) });
+    assert_eq!(
+        m.actions,
+        vec![Action::ToneOn(Tone::Rbt), Action::ToneOff(Tone::Rbt)]
+    );
+    assert_eq!(r.state(), State::WfRdata, "session continues");
+}
+
+/// With protection on (default), the RBT holds through the data frame.
+#[test]
+fn default_rbt_holds_through_data() {
+    let mut m = Mock::new();
+    let mut r = mac(2);
+    m.rx_frame(&mut r, n(2), Frame::mrts(n(0), vec![n(2)]), true);
+    r.on_indication(&mut m, &Indication::CarrierOn { node: n(2) });
+    assert_eq!(m.actions, vec![Action::ToneOn(Tone::Rbt)]);
+}
+
+/// Accepting an MRTS from BACKOFF cancels the slot countdown (reception
+/// implies the channel was busy → suspension).
+#[test]
+fn mrts_reception_cancels_backoff() {
+    let mut m = Mock::new();
+    m.data_busy = true;
+    let mut r = mac(2);
+    r.submit(&mut m, reliable_req(Dest::Node(n(9)), 1));
+    m.data_busy = false;
+    r.on_indication(&mut m, &Indication::CarrierOff { node: n(2) });
+    if r.state() != State::Backoff {
+        return; // BI drew 0; nothing to test
+    }
+    m.rx_frame(&mut r, n(2), Frame::mrts(n(0), vec![n(2)]), true);
+    assert_eq!(r.state(), State::WfRdata);
+    // The pending backoff slot must be stale now.
+    m.fire(&mut r, TimerKind::BackoffSlot);
+    assert_eq!(r.state(), State::WfRdata);
+}
+
+// ---------------------------------------------------------------------
+// Edge cases and interleavings
+// ---------------------------------------------------------------------
+
+/// A reliable and an unreliable request queued together are served in
+/// order, each with its own completion notification.
+#[test]
+fn mixed_queue_served_in_order() {
+    let mut m = Mock::new();
+    let mut r = mac(0);
+    r.submit(&mut m, reliable_req(Dest::Node(n(1)), 1));
+    r.submit(&mut m, unreliable_req(Dest::Broadcast, 2));
+    // Serve the reliable one.
+    assert_eq!(r.state(), State::TxMrts);
+    m.finish_tx(&mut r, false);
+    m.preset_on(Tone::Rbt, m.now, T_WF);
+    m.fire(&mut r, TimerKind::WfRbt);
+    m.finish_tx(&mut r, false);
+    m.preset_abt_slots(m.now, 1, &[0]);
+    m.fire(&mut r, TimerKind::WfAbt);
+    assert_eq!(m.notifications.len(), 1);
+    // Then the unreliable one (after the post-cycle backoff).
+    drain_backoff(&mut m, &mut r);
+    assert_eq!(r.state(), State::TxUnrdata);
+    m.finish_tx(&mut r, false);
+    assert_eq!(m.notifications.len(), 2);
+    assert_eq!(m.notifications[1], (2, TxOutcome::Sent));
+}
+
+/// The sender's CW resets after a success even if earlier attempts failed.
+#[test]
+fn cw_resets_after_eventual_success() {
+    let mut m = Mock::new();
+    let mut r = mac(0);
+    r.submit(&mut m, reliable_req(Dest::Node(n(1)), 1));
+    // Two failed attempts grow CW.
+    for _ in 0..2 {
+        m.finish_tx(&mut r, false);
+        m.preset_silent(Tone::Rbt, m.now, T_WF);
+        m.fire(&mut r, TimerKind::WfRbt);
+        drain_backoff(&mut m, &mut r);
+    }
+    assert!(r.cw() > 31);
+    // Then success.
+    m.finish_tx(&mut r, false);
+    m.preset_on(Tone::Rbt, m.now, T_WF);
+    m.fire(&mut r, TimerKind::WfRbt);
+    m.finish_tx(&mut r, false);
+    m.preset_abt_slots(m.now, 1, &[0]);
+    m.fire(&mut r, TimerKind::WfAbt);
+    assert_eq!(r.cw(), 31);
+}
+
+/// Delivered receivers from an early round are not re-addressed after a
+/// later round drops the stragglers.
+#[test]
+fn partial_delivery_reported_exactly() {
+    let mut m = Mock::new();
+    let mut r = mac(0);
+    let limit = MacConfig::default().retry_limit;
+    r.submit(&mut m, reliable_req(Dest::Group(vec![n(1), n(2)]), 5));
+    // Round 1: node 1 answers, node 2 silent.
+    m.finish_tx(&mut r, false);
+    m.preset_on(Tone::Rbt, m.now, T_WF);
+    m.fire(&mut r, TimerKind::WfRbt);
+    m.finish_tx(&mut r, false);
+    m.preset_abt_slots(m.now, 2, &[0]);
+    m.fire(&mut r, TimerKind::WfAbt);
+    // All further rounds: silence until the drop.
+    for _ in 1..=limit {
+        drain_backoff(&mut m, &mut r);
+        assert_eq!(m.last_tx().order, vec![n(2)]);
+        m.finish_tx(&mut r, false);
+        m.preset_on(Tone::Rbt, m.now, T_WF);
+        m.fire(&mut r, TimerKind::WfRbt);
+        m.finish_tx(&mut r, false);
+        m.preset_abt_slots(m.now, 1, &[]);
+        m.fire(&mut r, TimerKind::WfAbt);
+    }
+    assert_eq!(
+        m.notifications,
+        vec![(
+            5,
+            TxOutcome::Reliable {
+                delivered: vec![n(1)],
+                failed: vec![n(2)],
+            }
+        )]
+    );
+    assert_eq!(m.counters.drops, 1);
+}
+
+/// An MRTS that lists this node twice is answered once, in the first slot.
+#[test]
+fn duplicate_listing_uses_first_slot() {
+    let mut m = Mock::new();
+    let mut r = mac(2);
+    m.rx_frame(&mut r, n(2), Frame::mrts(n(0), vec![n(2), n(1), n(2)]), true);
+    assert_eq!(r.state(), State::WfRdata);
+    r.on_indication(&mut m, &Indication::CarrierOn { node: n(2) });
+    let data = Frame::data_reliable(
+        n(0),
+        Dest::Group(vec![n(2), n(1)]),
+        Bytes::from_static(b"x"),
+        0,
+    );
+    let t_end = m.now;
+    m.rx_frame(&mut r, n(2), data, true);
+    let starts: Vec<_> = m
+        .timers
+        .iter()
+        .filter(|&&(_, k, _)| k == TimerKind::AbtStart)
+        .collect();
+    assert_eq!(starts.len(), 1);
+    assert_eq!(starts[0].0, t_end, "slot 0 ⇒ immediate ABT");
+}
+
+/// Self-addressed destinations are stripped: a group of only-me completes
+/// vacuously.
+#[test]
+fn self_only_group_is_vacuous() {
+    let mut m = Mock::new();
+    let mut r = mac(3);
+    r.submit(&mut m, reliable_req(Dest::Group(vec![n(3)]), 8));
+    assert_eq!(
+        m.notifications,
+        vec![(
+            8,
+            TxOutcome::Reliable {
+                delivered: vec![],
+                failed: vec![],
+            }
+        )]
+    );
+    assert!(m.actions.is_empty());
+}
+
+/// While a receiver session is open, a second MRTS from a different
+/// sender is ignored (no session hijack, no second RBT).
+#[test]
+fn second_mrts_does_not_hijack_session() {
+    let mut m = Mock::new();
+    let mut r = mac(2);
+    m.rx_frame(&mut r, n(2), Frame::mrts(n(0), vec![n(2)]), true);
+    let tone_ons = m
+        .actions
+        .iter()
+        .filter(|a| matches!(a, Action::ToneOn(Tone::Rbt)))
+        .count();
+    m.rx_frame(&mut r, n(2), Frame::mrts(n(9), vec![n(2)]), true);
+    let tone_ons_after = m
+        .actions
+        .iter()
+        .filter(|a| matches!(a, Action::ToneOn(Tone::Rbt)))
+        .count();
+    assert_eq!(tone_ons, tone_ons_after, "no second RBT");
+    // The original session still completes normally.
+    r.on_indication(&mut m, &Indication::CarrierOn { node: n(2) });
+    let data = Frame::data_reliable(n(0), Dest::Group(vec![n(2)]), Bytes::new(), 0);
+    m.rx_frame(&mut r, n(2), data, true);
+    assert_eq!(m.delivered.len(), 1);
+}
+
+/// A stale WF_RDATA timer (cancelled by the first data bit) must not kill
+/// the reception that is under way.
+#[test]
+fn cancelled_wf_rdata_timer_is_inert() {
+    let mut m = Mock::new();
+    let mut r = mac(2);
+    m.rx_frame(&mut r, n(2), Frame::mrts(n(0), vec![n(2)]), true);
+    let (at, kind, gen) = *m
+        .timers
+        .iter()
+        .find(|&&(_, k, _)| k == TimerKind::WfRdata)
+        .unwrap();
+    // First bit arrives → timer cancelled.
+    r.on_indication(&mut m, &Indication::CarrierOn { node: n(2) });
+    // The stale firing arrives anyway.
+    m.now = m.now.max(at);
+    r.on_timer(&mut m, kind, gen);
+    assert_eq!(r.state(), State::WfRdata, "session survives stale timer");
+}
+
+/// Retry counting: an aborted MRTS, a missing RBT and missing ABTs all
+/// count into the same per-chunk retry budget.
+#[test]
+fn mixed_failure_modes_share_the_retry_budget() {
+    let mut m = Mock::new();
+    let cfg = MacConfig {
+        retry_limit: 2,
+        ..MacConfig::default()
+    };
+    let mut r = Rmac::new(n(0), cfg);
+    r.submit(&mut m, reliable_req(Dest::Node(n(1)), 4));
+    // Failure 1: abort.
+    r.on_indication(
+        &mut m,
+        &Indication::ToneChanged {
+            node: n(0),
+            tone: Tone::Rbt,
+            present: true,
+        },
+    );
+    m.finish_tx(&mut r, true);
+    drain_backoff(&mut m, &mut r);
+    // Failure 2: no RBT.
+    m.finish_tx(&mut r, false);
+    m.preset_silent(Tone::Rbt, m.now, T_WF);
+    m.fire(&mut r, TimerKind::WfRbt);
+    drain_backoff(&mut m, &mut r);
+    // Failure 3: missing ABT → exceeds limit of 2 → drop.
+    m.finish_tx(&mut r, false);
+    m.preset_on(Tone::Rbt, m.now, T_WF);
+    m.fire(&mut r, TimerKind::WfRbt);
+    m.finish_tx(&mut r, false);
+    m.preset_abt_slots(m.now, 1, &[]);
+    m.fire(&mut r, TimerKind::WfAbt);
+    assert_eq!(m.counters.drops, 1);
+    assert_eq!(m.counters.retransmissions, 2);
+}
+
+/// Tone watches are opened and closed in matched pairs across a full
+/// reliable cycle (the mock panics on close-without-open).
+#[test]
+fn tone_watch_discipline() {
+    let mut m = Mock::new();
+    let mut r = mac(0);
+    r.submit(&mut m, reliable_req(Dest::Group(vec![n(1)]), 1));
+    m.finish_tx(&mut r, false);
+    assert!(m.watch_open[Tone::Rbt.idx()]);
+    m.preset_on(Tone::Rbt, m.now, T_WF);
+    m.fire(&mut r, TimerKind::WfRbt);
+    assert!(!m.watch_open[Tone::Rbt.idx()]);
+    m.finish_tx(&mut r, false);
+    assert!(m.watch_open[Tone::Abt.idx()]);
+    m.preset_abt_slots(m.now, 1, &[0]);
+    m.fire(&mut r, TimerKind::WfAbt);
+    assert!(!m.watch_open[Tone::Abt.idx()]);
+}

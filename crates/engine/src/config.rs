@@ -1,0 +1,237 @@
+//! Scenario configuration and protocol selection.
+
+use rmac_baselines::{Bmmm, Bmw, Lbp, Mx};
+use rmac_core::api::MacService;
+use rmac_core::{MacConfig, Rmac};
+use rmac_mobility::{Bounds, MobilityKind, Pos};
+use rmac_sim::SimTime;
+use rmac_wire::consts::PAPER_PAYLOAD;
+use rmac_wire::NodeId;
+
+/// Which MAC protocol a run uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Protocol {
+    /// RMAC (the paper's contribution).
+    Rmac,
+    /// Ablation X2: RMAC with the RBT lowered at the first data bit, so
+    /// data receptions lose hidden-terminal protection.
+    RmacNoRbt,
+    /// BMMM (the paper's comparison baseline).
+    Bmmm,
+    /// BMW (extension baseline).
+    Bmw,
+    /// LBP (extension baseline).
+    Lbp,
+    /// 802.11MX (extension baseline): receiver-initiated NAK busy tone.
+    Mx80211,
+}
+
+impl Protocol {
+    /// Human-readable label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Protocol::Rmac => "RMAC",
+            Protocol::RmacNoRbt => "RMAC-noRBT",
+            Protocol::Bmmm => "BMMM",
+            Protocol::Bmw => "BMW",
+            Protocol::Lbp => "LBP",
+            Protocol::Mx80211 => "802.11MX",
+        }
+    }
+
+    /// Instantiate the MAC entity for one node.
+    pub fn make_mac(self, id: NodeId, cfg: MacConfig) -> Box<dyn MacService> {
+        match self {
+            Protocol::Rmac => Box::new(Rmac::new(id, cfg)),
+            Protocol::RmacNoRbt => Box::new(Rmac::new(
+                id,
+                MacConfig {
+                    rbt_data_protection: false,
+                    ..cfg
+                },
+            )),
+            Protocol::Bmmm => Box::new(Bmmm::new(id, cfg)),
+            Protocol::Bmw => Box::new(Bmw::new(id, cfg)),
+            Protocol::Lbp => Box::new(Lbp::new(id, cfg)),
+            Protocol::Mx80211 => Box::new(Mx::new(id, cfg)),
+        }
+    }
+}
+
+/// One experiment's parameters. Defaults are the paper's §4.1 environment.
+#[derive(Clone, Debug)]
+pub struct ScenarioConfig {
+    /// Scenario label used in reports.
+    pub name: String,
+    /// Number of nodes (paper: 75).
+    pub nodes: usize,
+    /// Plane dimensions (paper: 500 m × 300 m).
+    pub bounds: Bounds,
+    /// Radio range in meters (paper: 75).
+    pub range_m: f64,
+    /// Per-bit error probability (0 = clean channel).
+    pub ber_per_bit: f64,
+    /// Mobility model.
+    pub mobility: MobilityKind,
+    /// Source packet rate in packets/second (paper sweeps 5–120).
+    pub rate_pps: f64,
+    /// Packets the source generates (paper: 10 000; default here 1 000 to
+    /// keep the full grid laptop-tractable — record the value used).
+    pub packets: u64,
+    /// Application payload size (paper: 500 bytes).
+    pub payload: usize,
+    /// Tree formation time before the source starts.
+    pub warmup: SimTime,
+    /// Extra simulated time after the last packet for deliveries to drain.
+    pub drain: SimTime,
+    /// BLESS-lite beacon period.
+    pub beacon_period: SimTime,
+    /// BLESS-lite neighbor/parent/child freshness horizon.
+    pub freshness: SimTime,
+    /// MAC parameters.
+    pub mac: MacConfig,
+    /// Explicit node positions (overrides random placement; the node count
+    /// becomes the vector's length). Used by crafted-topology examples and
+    /// tests.
+    pub positions: Option<Vec<Pos>>,
+    /// When false, the network layer forwards application packets with the
+    /// Unreliable Send service (one broadcast per hop, no recovery) — the
+    /// paper's §1 motivation strawman.
+    pub reliable_forwarding: bool,
+}
+
+impl ScenarioConfig {
+    fn base(name: &str, mobility: MobilityKind, rate_pps: f64) -> ScenarioConfig {
+        ScenarioConfig {
+            name: name.to_string(),
+            nodes: 75,
+            bounds: Bounds::PAPER,
+            range_m: 75.0,
+            ber_per_bit: 0.0,
+            mobility,
+            rate_pps,
+            packets: 1_000,
+            payload: PAPER_PAYLOAD,
+            warmup: SimTime::from_secs(5),
+            drain: SimTime::from_secs(10),
+            // BLESS-lite cadence: 500 ms beacons with a 1.6 s freshness
+            // horizon reproduce both the paper's tree statistics (§4.1.1)
+            // and its mobile-scenario delivery/retransmission bands —
+            // slower beacons repair broken parent links too slowly for the
+            // 4–8 m/s waypoint speeds.
+            beacon_period: SimTime::from_millis(500),
+            freshness: SimTime::from_millis(1600),
+            mac: MacConfig::default(),
+            positions: None,
+            reliable_forwarding: true,
+        }
+    }
+
+    /// The paper's "Stationary" scenario at the given source rate.
+    pub fn paper_stationary(rate_pps: f64) -> ScenarioConfig {
+        Self::base("stationary", MobilityKind::Stationary, rate_pps)
+    }
+
+    /// The paper's "Moving at speed 1" scenario (0–4 m/s, 10 s pauses).
+    pub fn paper_speed1(rate_pps: f64) -> ScenarioConfig {
+        Self::base("speed1", MobilityKind::paper_speed1(), rate_pps)
+    }
+
+    /// The paper's "Moving at speed 2" scenario (0–8 m/s, 5 s pauses).
+    pub fn paper_speed2(rate_pps: f64) -> ScenarioConfig {
+        Self::base("speed2", MobilityKind::paper_speed2(), rate_pps)
+    }
+
+    /// Override the packet count.
+    pub fn with_packets(mut self, packets: u64) -> Self {
+        self.packets = packets;
+        self
+    }
+
+    /// Override the node count.
+    pub fn with_nodes(mut self, nodes: usize) -> Self {
+        self.nodes = nodes;
+        self
+    }
+
+    /// Override the MAC configuration.
+    pub fn with_mac(mut self, mac: MacConfig) -> Self {
+        self.mac = mac;
+        self
+    }
+
+    /// Override the bit error rate.
+    pub fn with_ber(mut self, ber: f64) -> Self {
+        self.ber_per_bit = ber;
+        self
+    }
+
+    /// Pin every node to an explicit position (crafted topologies).
+    pub fn with_positions(mut self, positions: Vec<Pos>) -> Self {
+        self.nodes = positions.len();
+        self.positions = Some(positions);
+        self
+    }
+
+    /// Forward application packets unreliably (the §1 strawman).
+    pub fn with_unreliable_forwarding(mut self) -> Self {
+        self.reliable_forwarding = false;
+        self
+    }
+
+    /// The interval between source packets.
+    pub fn source_interval(&self) -> SimTime {
+        SimTime::from_secs_f64(1.0 / self.rate_pps)
+    }
+
+    /// Total simulated time: warmup + send window + drain.
+    pub fn end_time(&self) -> SimTime {
+        self.warmup + self.source_interval().mul(self.packets) + self.drain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = ScenarioConfig::paper_stationary(40.0);
+        assert_eq!(c.nodes, 75);
+        assert_eq!(c.bounds, Bounds::PAPER);
+        assert_eq!(c.range_m, 75.0);
+        assert_eq!(c.payload, 500);
+        assert_eq!(c.rate_pps, 40.0);
+        assert_eq!(c.source_interval(), SimTime::from_millis(25));
+    }
+
+    #[test]
+    fn end_time_accounts_for_all_phases() {
+        let c = ScenarioConfig::paper_stationary(10.0).with_packets(100);
+        // 5 s warmup + 10 s sending + 10 s drain.
+        assert_eq!(c.end_time(), SimTime::from_secs(25));
+    }
+
+    #[test]
+    fn protocol_labels() {
+        assert_eq!(Protocol::Rmac.label(), "RMAC");
+        assert_eq!(Protocol::Bmmm.label(), "BMMM");
+        assert_eq!(Protocol::RmacNoRbt.label(), "RMAC-noRBT");
+    }
+
+    #[test]
+    fn mobility_constructors() {
+        assert_eq!(
+            ScenarioConfig::paper_stationary(5.0).mobility,
+            MobilityKind::Stationary
+        );
+        assert!(matches!(
+            ScenarioConfig::paper_speed1(5.0).mobility,
+            MobilityKind::RandomWaypoint { max_speed, .. } if max_speed == 4.0
+        ));
+        assert!(matches!(
+            ScenarioConfig::paper_speed2(5.0).mobility,
+            MobilityKind::RandomWaypoint { max_speed, .. } if max_speed == 8.0
+        ));
+    }
+}

@@ -1,0 +1,113 @@
+//! Execution tracing.
+//!
+//! A [`Tracer`] attached to a [`Runner`](crate::Runner) observes every
+//! PHY indication, upper-layer submission and delivery as it is dispatched
+//! — the raw material for protocol timelines like the paper's Fig. 4
+//! (MRTS → RBT → DATA → ordered ABTs), reproduced executable in
+//! `examples/fig4_timeline.rs`.
+
+use std::fmt;
+
+use rmac_phy::Tone;
+use rmac_sim::SimTime;
+use rmac_wire::{FrameKind, NodeId};
+
+/// One observed event.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// When it happened.
+    pub t: SimTime,
+    /// The node it happened at.
+    pub node: NodeId,
+    /// What happened.
+    pub what: TraceWhat,
+}
+
+/// The kinds of observable events.
+#[derive(Clone, Debug)]
+pub enum TraceWhat {
+    /// The node's own transmission left the antenna.
+    TxDone {
+        /// Frame type transmitted.
+        kind: FrameKind,
+        /// On-the-wire length.
+        bytes: usize,
+        /// Whether it was aborted mid-air (RMAC's RBT rule).
+        aborted: bool,
+    },
+    /// A frame finished arriving.
+    Rx {
+        /// Frame type received.
+        kind: FrameKind,
+        /// Transmitter.
+        src: NodeId,
+        /// Whether it survived collisions/capture/BER.
+        ok: bool,
+    },
+    /// Busy-tone presence changed at this node.
+    Tone {
+        /// Which tone channel.
+        tone: Tone,
+        /// Present or gone.
+        present: bool,
+    },
+    /// Data-channel carrier sense changed at this node.
+    Carrier {
+        /// Busy or idle.
+        busy: bool,
+    },
+    /// The network layer handed a transmit request to the MAC.
+    Submit {
+        /// Reliable Send?
+        reliable: bool,
+        /// Payload length.
+        bytes: usize,
+    },
+    /// The MAC delivered a data frame up to the network layer.
+    Deliver {
+        /// Transmitter of the delivered frame.
+        src: NodeId,
+        /// Reliable or unreliable data.
+        kind: FrameKind,
+    },
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:>14}  n{:<3} ", format!("{}", self.t), self.node.0)?;
+        match &self.what {
+            TraceWhat::TxDone {
+                kind,
+                bytes,
+                aborted,
+            } => write!(
+                f,
+                "TX {kind:?} ({bytes} B){}",
+                if *aborted { " ABORTED" } else { "" }
+            ),
+            TraceWhat::Rx { kind, src, ok } => write!(
+                f,
+                "RX {kind:?} from n{}{}",
+                src.0,
+                if *ok { "" } else { " (corrupt)" }
+            ),
+            TraceWhat::Tone { tone, present } => {
+                write!(f, "{tone:?} {}", if *present { "on" } else { "off" })
+            }
+            TraceWhat::Carrier { busy } => {
+                write!(f, "carrier {}", if *busy { "busy" } else { "idle" })
+            }
+            TraceWhat::Submit { reliable, bytes } => write!(
+                f,
+                "SUBMIT {} ({bytes} B)",
+                if *reliable { "reliable" } else { "unreliable" }
+            ),
+            TraceWhat::Deliver { src, kind } => {
+                write!(f, "DELIVER {kind:?} from n{}", src.0)
+            }
+        }
+    }
+}
+
+/// The observer callback type.
+pub type Tracer = Box<dyn FnMut(&TraceEvent)>;

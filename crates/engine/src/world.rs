@@ -1,0 +1,502 @@
+//! The event loop: one simulation replication.
+
+use rmac_core::api::{MacContext, MacCounters, MacService, TimerKind, TxOutcome, TxRequest};
+use rmac_metrics::{percentile, RunReport};
+use rmac_mobility::{random_positions, MobilityKind, Motion};
+use rmac_net::{BlessConfig, NetLayer};
+use rmac_phy::{Channel, ChannelConfig, Indication, PhyEvent, Tone, ToneLog};
+use rmac_sim::{EventQueue, SimRng, SimTime};
+use rmac_wire::{Frame, NodeId};
+
+use crate::config::{Protocol, ScenarioConfig};
+use crate::trace::{TraceEvent, TraceWhat, Tracer};
+
+/// The engine's event type.
+#[derive(Clone, Debug)]
+pub enum Ev {
+    /// A channel event (propagation, frame ends, tone edges).
+    Phy(PhyEvent),
+    /// A MAC-armed timer at one node.
+    MacTimer {
+        node: NodeId,
+        kind: TimerKind,
+        gen: u64,
+    },
+    /// One node's BLESS-lite beacon tick.
+    Beacon { node: NodeId },
+    /// The source's next application packet.
+    Source,
+}
+
+impl From<PhyEvent> for Ev {
+    fn from(pe: PhyEvent) -> Ev {
+        Ev::Phy(pe)
+    }
+}
+
+/// Everything the MAC context borrows mutably: the queue, channel, and
+/// per-node rngs/counters. Kept separate from the MAC/net entities so the
+/// borrow checker can hand a MAC `&mut` access to the rest of the world.
+struct WorldCore {
+    q: EventQueue<Ev>,
+    channel: Channel,
+    chan_rng: SimRng,
+    rngs: Vec<SimRng>,
+    counters: Vec<MacCounters>,
+}
+
+/// The per-call [`MacContext`] view handed to a MAC entity.
+struct Ctx<'a> {
+    core: &'a mut WorldCore,
+    node: NodeId,
+    neighbors: Vec<NodeId>,
+    delivered: &'a mut Vec<Frame>,
+    outcomes: &'a mut Vec<(u64, TxOutcome)>,
+}
+
+impl MacContext for Ctx<'_> {
+    fn now(&self) -> SimTime {
+        self.core.q.now()
+    }
+    fn schedule(&mut self, delay: SimTime, kind: TimerKind, gen: u64) {
+        let node = self.node;
+        self.core
+            .q
+            .push_after(delay, Ev::MacTimer { node, kind, gen });
+    }
+    fn start_tx(&mut self, frame: Frame) {
+        self.core.channel.start_tx(&mut self.core.q, self.node, frame);
+    }
+    fn abort_tx(&mut self) {
+        self.core.channel.abort_tx(&mut self.core.q, self.node);
+    }
+    fn start_tone(&mut self, tone: Tone) {
+        self.core.channel.start_tone(&mut self.core.q, self.node, tone);
+    }
+    fn stop_tone(&mut self, tone: Tone) {
+        self.core.channel.stop_tone(&mut self.core.q, self.node, tone);
+    }
+    fn data_busy(&self) -> bool {
+        self.core.channel.data_busy(self.node)
+    }
+    fn tone_present(&self, tone: Tone) -> bool {
+        self.core.channel.tone_present(self.node, tone)
+    }
+    fn open_tone_watch(&mut self, tone: Tone) {
+        let now = self.core.q.now();
+        self.core.channel.open_watch(self.node, tone, now);
+    }
+    fn close_tone_watch(&mut self, tone: Tone) -> ToneLog {
+        let now = self.core.q.now();
+        self.core.channel.close_watch(self.node, tone, now)
+    }
+    fn deliver(&mut self, frame: Frame) {
+        self.delivered.push(frame);
+    }
+    fn notify(&mut self, token: u64, outcome: TxOutcome) {
+        self.outcomes.push((token, outcome));
+    }
+    fn neighbors(&mut self) -> Vec<NodeId> {
+        self.neighbors.clone()
+    }
+    fn rng(&mut self) -> &mut SimRng {
+        &mut self.core.rngs[self.node.idx()]
+    }
+    fn counters(&mut self) -> &mut MacCounters {
+        &mut self.core.counters[self.node.idx()]
+    }
+}
+
+/// One assembled replication: node stacks plus the event loop.
+pub struct Runner {
+    core: WorldCore,
+    macs: Vec<Box<dyn MacService>>,
+    nets: Vec<NetLayer>,
+    cfg: ScenarioConfig,
+    protocol: Protocol,
+    packets_left: u64,
+    sched_rng: SimRng,
+    tracer: Option<Tracer>,
+}
+
+impl Runner {
+    /// Build a replication from a scenario, protocol and seed.
+    pub fn new(cfg: &ScenarioConfig, protocol: Protocol, seed: u64) -> Runner {
+        let master = SimRng::new(seed);
+        let mut place_rng = master.split(1);
+        let positions = cfg
+            .positions
+            .clone()
+            .unwrap_or_else(|| random_positions(cfg.nodes, cfg.bounds, &mut place_rng));
+        debug_assert_eq!(positions.len(), cfg.nodes, "position count mismatch");
+        let motions: Vec<Motion> = positions
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| match cfg.mobility {
+                MobilityKind::Stationary => Motion::stationary(p),
+                kind => Motion::new(p, kind, cfg.bounds, master.split(1000 + i as u64)),
+            })
+            .collect();
+        let channel = Channel::new(
+            ChannelConfig {
+                range_m: cfg.range_m,
+                ber_per_bit: cfg.ber_per_bit,
+                ..ChannelConfig::default()
+            },
+            motions,
+        );
+        let bless_cfg = BlessConfig {
+            beacon_period: cfg.beacon_period,
+            freshness: cfg.freshness,
+            root: NodeId(0),
+        };
+        let macs = (0..cfg.nodes)
+            .map(|i| protocol.make_mac(NodeId(i as u16), cfg.mac))
+            .collect();
+        let nets = (0..cfg.nodes)
+            .map(|i| {
+                let mut net = NetLayer::new(NodeId(i as u16), bless_cfg, cfg.payload);
+                net.set_reliable_forwarding(cfg.reliable_forwarding);
+                net
+            })
+            .collect();
+        let rngs = (0..cfg.nodes)
+            .map(|i| master.split(2000 + i as u64))
+            .collect();
+        Runner {
+            core: WorldCore {
+                q: EventQueue::with_capacity(4096),
+                channel,
+                chan_rng: master.split(2),
+                rngs,
+                counters: vec![MacCounters::default(); cfg.nodes],
+            },
+            macs,
+            nets,
+            cfg: cfg.clone(),
+            protocol,
+            packets_left: cfg.packets,
+            sched_rng: master.split(3),
+            tracer: None,
+        }
+    }
+
+    /// Attach an observer that sees every PHY indication, submission and
+    /// delivery as it is dispatched (protocol timelines, debugging).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = Some(tracer);
+    }
+
+    fn trace(&mut self, node: NodeId, what: TraceWhat) {
+        if let Some(tr) = self.tracer.as_mut() {
+            tr(&TraceEvent {
+                t: self.core.q.now(),
+                node,
+                what,
+            });
+        }
+    }
+
+    fn trace_indication(&mut self, ind: &Indication) {
+        if self.tracer.is_none() {
+            return;
+        }
+        let what = match ind {
+            Indication::TxDone {
+                frame, aborted, ..
+            } => TraceWhat::TxDone {
+                kind: frame.kind,
+                bytes: frame.length_bytes(),
+                aborted: *aborted,
+            },
+            Indication::FrameRx { frame, ok, .. } => TraceWhat::Rx {
+                kind: frame.kind,
+                src: frame.src,
+                ok: *ok,
+            },
+            Indication::ToneChanged { tone, present, .. } => TraceWhat::Tone {
+                tone: *tone,
+                present: *present,
+            },
+            Indication::CarrierOn { .. } => TraceWhat::Carrier { busy: true },
+            Indication::CarrierOff { .. } => TraceWhat::Carrier { busy: false },
+        };
+        self.trace(ind.node(), what);
+    }
+
+    /// Run to completion, returning the report plus the final tree (each
+    /// node's parent), for topology studies like the paper's Fig. 6.
+    pub fn run_with_tree(self, seed: u64) -> (RunReport, Vec<Option<NodeId>>) {
+        let mut me = self;
+        me.run_loop();
+        let parents = me.nets.iter().map(|n| n.bless().parent()).collect();
+        (me.collect(seed), parents)
+    }
+
+    /// Run to completion and produce the replication's report.
+    pub fn run(mut self, seed: u64) -> RunReport {
+        self.run_loop();
+        self.collect(seed)
+    }
+
+    fn run_loop(&mut self) {
+        // Stagger the first beacons uniformly over one period so the
+        // network does not start in lockstep.
+        for i in 0..self.cfg.nodes {
+            let jitter =
+                SimTime::from_nanos(self.sched_rng.below(self.cfg.beacon_period.nanos().max(1)));
+            self.core.q.push(jitter, Ev::Beacon { node: NodeId(i as u16) });
+        }
+        self.core.q.push(self.cfg.warmup, Ev::Source);
+        let end = self.cfg.end_time();
+        while let Some(t) = self.core.q.peek_time() {
+            if t > end {
+                break;
+            }
+            let (_, ev) = self.core.q.pop().expect("peeked event vanished");
+            self.dispatch(ev);
+        }
+    }
+
+    fn dispatch(&mut self, ev: Ev) {
+        match ev {
+            Ev::Phy(pe) => {
+                let now = self.core.q.now();
+                let mut inds = Vec::new();
+                self.core
+                    .channel
+                    .handle(now, &mut self.core.chan_rng, &pe, &mut inds);
+                for ind in inds {
+                    self.indicate(&ind);
+                }
+            }
+            Ev::MacTimer { node, kind, gen } => {
+                let mut delivered = Vec::new();
+                let mut outcomes = Vec::new();
+                let neighbors = self.nets[node.idx()].fresh_neighbors(self.core.q.now());
+                let mut ctx = Ctx {
+                    core: &mut self.core,
+                    node,
+                    neighbors,
+                    delivered: &mut delivered,
+                    outcomes: &mut outcomes,
+                };
+                self.macs[node.idx()].on_timer(&mut ctx, kind, gen);
+                self.post_mac(node, delivered, outcomes);
+            }
+            Ev::Beacon { node } => {
+                let now = self.core.q.now();
+                let mut reqs = Vec::new();
+                self.nets[node.idx()].on_beacon_timer(now, &mut reqs);
+                for req in reqs {
+                    self.submit(node, req);
+                }
+                // Next beacon: the nominal period plus a little jitter so
+                // beacons never phase-lock with the data traffic.
+                let jitter = SimTime::from_nanos(self.sched_rng.below(10_000_000));
+                let next = self.cfg.beacon_period + jitter;
+                self.core.q.push_after(next, Ev::Beacon { node });
+            }
+            Ev::Source => {
+                if self.packets_left == 0 {
+                    return;
+                }
+                self.packets_left -= 1;
+                let now = self.core.q.now();
+                let mut reqs = Vec::new();
+                self.nets[0].on_source_timer(now, &mut reqs);
+                for req in reqs {
+                    self.submit(NodeId(0), req);
+                }
+                if self.packets_left > 0 {
+                    self.core
+                        .q
+                        .push_after(self.cfg.source_interval(), Ev::Source);
+                }
+            }
+        }
+    }
+
+    fn indicate(&mut self, ind: &Indication) {
+        self.trace_indication(ind);
+        let node = ind.node();
+        let mut delivered = Vec::new();
+        let mut outcomes = Vec::new();
+        let neighbors = self.nets[node.idx()].fresh_neighbors(self.core.q.now());
+        let mut ctx = Ctx {
+            core: &mut self.core,
+            node,
+            neighbors,
+            delivered: &mut delivered,
+            outcomes: &mut outcomes,
+        };
+        self.macs[node.idx()].on_indication(&mut ctx, ind);
+        self.post_mac(node, delivered, outcomes);
+    }
+
+    /// Route MAC deliveries up to the network layer and send any resulting
+    /// forwards back down.
+    fn post_mac(&mut self, node: NodeId, delivered: Vec<Frame>, outcomes: Vec<(u64, TxOutcome)>) {
+        let now = self.core.q.now();
+        // Positive acknowledgments are cross-layer liveness evidence for
+        // the tree (failures are already accounted in the MAC counters).
+        for (_, outcome) in &outcomes {
+            if let TxOutcome::Reliable { delivered: acked, .. } = outcome {
+                self.nets[node.idx()].on_reliable_outcome(now, acked);
+            }
+        }
+        if delivered.is_empty() {
+            return;
+        }
+        let mut reqs = Vec::new();
+        for frame in &delivered {
+            if self.tracer.is_some() && frame.kind.is_data() {
+                let (src, kind) = (frame.src, frame.kind);
+                self.trace(node, TraceWhat::Deliver { src, kind });
+            }
+            self.nets[node.idx()].on_deliver(now, frame, &mut reqs);
+        }
+        for req in reqs {
+            self.submit(node, req);
+        }
+    }
+
+    /// Hand an upper-layer request to a node's MAC.
+    fn submit(&mut self, node: NodeId, req: TxRequest) {
+        if self.tracer.is_some() {
+            self.trace(
+                node,
+                TraceWhat::Submit {
+                    reliable: req.reliable,
+                    bytes: req.payload.len(),
+                },
+            );
+        }
+        let mut delivered = Vec::new();
+        let mut outcomes = Vec::new();
+        let neighbors = self.nets[node.idx()].fresh_neighbors(self.core.q.now());
+        let mut ctx = Ctx {
+            core: &mut self.core,
+            node,
+            neighbors,
+            delivered: &mut delivered,
+            outcomes: &mut outcomes,
+        };
+        self.macs[node.idx()].submit(&mut ctx, req);
+        debug_assert!(delivered.is_empty(), "submit cannot deliver frames");
+    }
+
+    fn collect(self, seed: u64) -> RunReport {
+        let cfg = &self.cfg;
+        let now = self.core.q.now();
+        let n = cfg.nodes;
+        let packets_sent = cfg.packets - self.packets_left;
+
+        let mut receptions = 0;
+        let mut delays: Vec<f64> = Vec::new();
+        for (i, net) in self.nets.iter().enumerate() {
+            if i != 0 {
+                receptions += net.stats().received;
+            }
+            delays.extend(&net.stats().delays_s);
+        }
+
+        let nonleaf: Vec<usize> = (0..n)
+            .filter(|&i| self.core.counters[i].reliable_accepted > 0)
+            .collect();
+        let mean = |v: &[f64]| {
+            if v.is_empty() {
+                0.0
+            } else {
+                v.iter().sum::<f64>() / v.len() as f64
+            }
+        };
+        let drop_ratios: Vec<f64> = nonleaf
+            .iter()
+            .map(|&i| self.core.counters[i].drop_ratio())
+            .collect();
+        let retx_ratios: Vec<f64> = nonleaf
+            .iter()
+            .map(|&i| self.core.counters[i].retx_ratio())
+            .collect();
+        // R_txoh is reported as a ratio of sums over the non-leaf nodes
+        // rather than a mean of per-node ratios: in a dynamic tree a node
+        // that forwarded only one or two packets (a transient parent) has
+        // a tiny denominator and a huge ratio, and a handful of such
+        // outliers dominate the mean. The paper's stable GloMoSim trees do
+        // not produce them; the ratio of sums recovers the same "typical
+        // overhead per unit of data air time" the paper plots.
+        let (txoh_num, txoh_den) = nonleaf.iter().fold((0u64, 0u64), |(n, d), &i| {
+            let c = &self.core.counters[i];
+            (
+                n + (c.ctrl_airtime + c.abt_check_time).nanos(),
+                d + c.reliable_data_airtime.nanos(),
+            )
+        });
+        let txoh_pooled = if txoh_den == 0 {
+            0.0
+        } else {
+            txoh_num as f64 / txoh_den as f64
+        };
+        let abort_ratios: Vec<f64> = nonleaf
+            .iter()
+            .map(|&i| self.core.counters[i].abort_ratio())
+            .collect();
+
+        let mut mrts_lengths: Vec<f64> = Vec::new();
+        for c in &self.core.counters {
+            mrts_lengths.extend(c.mrts_lengths.iter().map(|&l| l as f64));
+        }
+
+        // Tree statistics at end of run (§4.1.1's Fig. 6 numbers).
+        let hops: Vec<f64> = self
+            .nets
+            .iter()
+            .enumerate()
+            .filter(|(i, net)| *i != 0 && net.bless().hops() != u32::MAX)
+            .map(|(_, net)| net.bless().hops() as f64)
+            .collect();
+        let children: Vec<f64> = self
+            .nets
+            .iter()
+            .map(|net| net.children(now).len() as f64)
+            .filter(|&c| c > 0.0)
+            .collect();
+
+        RunReport {
+            protocol: self.protocol.label().to_string(),
+            scenario: cfg.name.clone(),
+            rate_pps: cfg.rate_pps,
+            seed,
+            packets_sent,
+            expected_receptions: packets_sent * (n as u64 - 1),
+            receptions,
+            nonleaf_nodes: nonleaf.len() as u64,
+            drop_ratio_avg: mean(&drop_ratios),
+            retx_ratio_avg: mean(&retx_ratios),
+            txoh_ratio_avg: txoh_pooled,
+            abort_avg: mean(&abort_ratios),
+            abort_p99: percentile(&abort_ratios, 99.0),
+            abort_max: abort_ratios.iter().fold(0.0f64, |a, &b| a.max(b)),
+            mrts_len_avg: mean(&mrts_lengths),
+            mrts_len_p99: percentile(&mrts_lengths, 99.0),
+            mrts_len_max: mrts_lengths.iter().fold(0.0f64, |a, &b| a.max(b)),
+            e2e_delay_avg_s: mean(&delays),
+            delay_samples: delays.len() as u64,
+            hops_avg: mean(&hops),
+            hops_p99: percentile(&hops, 99.0),
+            children_avg: mean(&children),
+            children_p99: percentile(&children, 99.0),
+            events: self.core.q.total_popped(),
+            sim_secs: now.as_secs_f64(),
+        }
+    }
+}
+
+/// Run one replication and return its report.
+pub fn run_replication(cfg: &ScenarioConfig, protocol: Protocol, seed: u64) -> RunReport {
+    Runner::new(cfg, protocol, seed).run(seed)
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,218 @@
+//! Engine integration tests on small networks.
+
+use crate::config::{Protocol, ScenarioConfig};
+use crate::world::run_replication;
+
+/// A small, dense stationary scenario that finishes in well under a second
+/// of wall time.
+fn tiny(rate: f64, nodes: usize, packets: u64) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::paper_stationary(rate)
+        .with_nodes(nodes)
+        .with_packets(packets);
+    // Shrink the plane so a random placement of few nodes stays connected.
+    cfg.bounds = rmac_mobility::Bounds::new(100.0, 80.0);
+    cfg
+}
+
+#[test]
+fn rmac_delivers_on_a_small_stationary_network() {
+    let cfg = tiny(20.0, 8, 50);
+    let r = run_replication(&cfg, Protocol::Rmac, 7);
+    assert_eq!(r.packets_sent, 50);
+    assert_eq!(r.expected_receptions, 50 * 7);
+    assert!(
+        r.delivery_ratio() > 0.97,
+        "RMAC stationary delivery should be ≈1, got {} ({}/{} receptions)",
+        r.delivery_ratio(),
+        r.receptions,
+        r.expected_receptions
+    );
+    assert!(r.nonleaf_nodes >= 1);
+    assert!(r.events > 1000, "simulation actually ran: {} events", r.events);
+}
+
+#[test]
+fn bmmm_also_delivers_on_a_small_network() {
+    let cfg = tiny(10.0, 8, 30);
+    let r = run_replication(&cfg, Protocol::Bmmm, 7);
+    assert!(
+        r.delivery_ratio() > 0.9,
+        "BMMM stationary delivery, got {}",
+        r.delivery_ratio()
+    );
+}
+
+#[test]
+fn bmw_and_lbp_run_and_deliver_something() {
+    let cfg = tiny(5.0, 6, 20);
+    for p in [Protocol::Bmw, Protocol::Lbp] {
+        let r = run_replication(&cfg, p, 3);
+        assert!(
+            r.delivery_ratio() > 0.5,
+            "{} delivered only {}",
+            r.protocol,
+            r.delivery_ratio()
+        );
+    }
+}
+
+#[test]
+fn same_seed_is_bit_identical() {
+    let cfg = tiny(20.0, 8, 30);
+    let a = run_replication(&cfg, Protocol::Rmac, 42);
+    let b = run_replication(&cfg, Protocol::Rmac, 42);
+    assert_eq!(a.receptions, b.receptions);
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.e2e_delay_avg_s, b.e2e_delay_avg_s);
+    assert_eq!(a.retx_ratio_avg, b.retx_ratio_avg);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let cfg = tiny(20.0, 8, 30);
+    let a = run_replication(&cfg, Protocol::Rmac, 1);
+    let b = run_replication(&cfg, Protocol::Rmac, 2);
+    // Different placements ⇒ different event counts (astronomically
+    // unlikely to collide).
+    assert_ne!(a.events, b.events);
+}
+
+#[test]
+fn delays_are_positive_and_bounded() {
+    let cfg = tiny(20.0, 8, 40);
+    let r = run_replication(&cfg, Protocol::Rmac, 5);
+    assert!(r.delay_samples > 0);
+    assert!(r.e2e_delay_avg_s > 0.0);
+    assert!(
+        r.e2e_delay_avg_s < 1.0,
+        "unloaded small net should deliver in ms: {}s",
+        r.e2e_delay_avg_s
+    );
+}
+
+#[test]
+fn tree_statistics_are_sane() {
+    let cfg = tiny(10.0, 8, 20);
+    let r = run_replication(&cfg, Protocol::Rmac, 11);
+    assert!(r.hops_avg >= 1.0, "hops {}", r.hops_avg);
+    assert!(r.children_avg >= 1.0, "children {}", r.children_avg);
+}
+
+#[test]
+fn mrts_lengths_follow_fig3_bounds() {
+    let cfg = tiny(10.0, 10, 30);
+    let r = run_replication(&cfg, Protocol::Rmac, 13);
+    assert!(r.mrts_len_avg >= 18.0, "minimum MRTS is 18 B: {}", r.mrts_len_avg);
+    assert!(r.mrts_len_max <= 132.0, "≤ 20 receivers ⇒ ≤ 132 B: {}", r.mrts_len_max);
+}
+
+#[test]
+fn disconnected_node_reduces_delivery() {
+    // Nine nodes on a tiny plane plus the default 500×300 plane would be
+    // disconnected; instead verify the ratio definition: with only 2 nodes
+    // and the child in range, delivery ≈ 1; the expected count uses n-1.
+    let cfg = tiny(10.0, 2, 20);
+    let r = run_replication(&cfg, Protocol::Rmac, 3);
+    assert_eq!(r.expected_receptions, 20);
+    assert!(r.delivery_ratio() > 0.9);
+}
+
+#[test]
+fn rmac_beats_or_matches_bmmm_under_load() {
+    // At a high offered rate on a small dense net, RMAC's cheaper control
+    // plane should deliver at least as much as BMMM.
+    let cfg = tiny(60.0, 10, 100);
+    let rmac = run_replication(&cfg, Protocol::Rmac, 9);
+    let bmmm = run_replication(&cfg, Protocol::Bmmm, 9);
+    assert!(
+        rmac.delivery_ratio() >= bmmm.delivery_ratio() - 0.02,
+        "RMAC {} vs BMMM {}",
+        rmac.delivery_ratio(),
+        bmmm.delivery_ratio()
+    );
+}
+
+#[test]
+fn rbt_ablation_runs() {
+    let cfg = tiny(20.0, 8, 30);
+    let r = run_replication(&cfg, Protocol::RmacNoRbt, 5);
+    assert!(r.delivery_ratio() > 0.5);
+    assert_eq!(r.protocol, "RMAC-noRBT");
+}
+
+#[test]
+fn mobile_scenario_runs() {
+    let mut cfg = ScenarioConfig::paper_speed2(10.0)
+        .with_nodes(10)
+        .with_packets(20);
+    cfg.bounds = rmac_mobility::Bounds::new(120.0, 100.0);
+    let r = run_replication(&cfg, Protocol::Rmac, 21);
+    assert!(r.events > 0);
+    assert!(r.delivery_ratio() > 0.3, "got {}", r.delivery_ratio());
+}
+
+#[test]
+fn trace_reproduces_fig4_sequence() {
+    use crate::trace::{TraceEvent, TraceWhat};
+    use crate::Runner;
+    use rmac_phy::Tone;
+    use rmac_wire::FrameKind;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    let cfg = crate::ScenarioConfig::paper_stationary(5.0)
+        .with_packets(1)
+        .with_positions(vec![
+            rmac_mobility::Pos::new(0.0, 0.0),
+            rmac_mobility::Pos::new(50.0, 0.0),
+            rmac_mobility::Pos::new(0.0, 50.0),
+        ]);
+    let events: Rc<RefCell<Vec<TraceEvent>>> = Rc::default();
+    let sink = events.clone();
+    let mut runner = Runner::new(&cfg, crate::Protocol::Rmac, 3);
+    runner.set_tracer(Box::new(move |e| sink.borrow_mut().push(e.clone())));
+    let report = runner.run(3);
+    assert_eq!(report.delivery_ratio(), 1.0);
+
+    let events = events.borrow();
+    let pos = |pred: &dyn Fn(&TraceWhat) -> bool| {
+        events
+            .iter()
+            .position(|e| pred(&e.what))
+            .unwrap_or_else(|| panic!("missing trace event"))
+    };
+    let mrts = pos(&|w| matches!(w, TraceWhat::TxDone { kind: FrameKind::Mrts, aborted: false, .. }));
+    let rbt_on = pos(&|w| matches!(w, TraceWhat::Tone { tone: Tone::Rbt, present: true }));
+    let data = pos(&|w| {
+        matches!(w, TraceWhat::TxDone { kind: FrameKind::DataReliable, aborted: false, .. })
+    });
+    let abt_on = pos(&|w| matches!(w, TraceWhat::Tone { tone: Tone::Abt, present: true }));
+    // Deliveries of the *reliable* packet come from the sender n0 and must
+    // follow the MRTS (beacons also trace Deliver events, so filter by
+    // source and position).
+    let deliver = events
+        .iter()
+        .position(|e| {
+            matches!(
+                e.what,
+                TraceWhat::Deliver { kind: FrameKind::DataReliable, .. }
+            )
+        })
+        .expect("reliable delivery traced");
+    // §3.3.2 / Fig. 4 ordering: MRTS → RBT up → data → delivery → ABT.
+    assert!(mrts < rbt_on, "MRTS before RBT");
+    assert!(rbt_on < data, "RBT before data completes");
+    assert!(data < abt_on, "data before ABT");
+    assert!(deliver > rbt_on, "delivery after session start");
+    // Both receivers delivered the packet exactly once.
+    let delivers = events
+        .iter()
+        .filter(|e| {
+            matches!(
+                e.what,
+                TraceWhat::Deliver { kind: FrameKind::DataReliable, .. }
+            )
+        })
+        .count();
+    assert_eq!(delivers, 2);
+}

@@ -1,0 +1,31 @@
+//! Ablation X2: how much of RMAC's reliability comes from the RBT holding
+//! through the data reception (hidden-terminal protection) versus merely
+//! answering the MRTS?
+//!
+//! `RMAC-noRBT` lowers the tone at the data frame's first bit, so hidden
+//! nodes are free to collide with the rest of the reception. The design
+//! claim (§3.2: "the data reception is guaranteed to be collision-free")
+//! predicts higher retransmission ratios and lower delivery without it.
+
+use rmac_engine::Protocol;
+use rmac_experiments::{figures, run_sweep, ScenarioKind, SweepSpec};
+
+fn main() {
+    let spec = SweepSpec::paper()
+        .only_scenario(ScenarioKind::Stationary)
+        .with_protocols(vec![Protocol::Rmac, Protocol::RmacNoRbt]);
+    eprintln!("running {} replications…", spec.replication_count());
+    let results = run_sweep(&spec);
+    figures::emit(
+        &figures::metric_tables(&results, "X2", "packet delivery ratio", 4, |r| {
+            r.delivery_ratio()
+        }),
+        "ablation_rbt_delivery",
+    );
+    figures::emit(
+        &figures::metric_tables(&results, "X2", "avg retransmission ratio", 4, |r| {
+            r.retx_ratio_avg
+        }),
+        "ablation_rbt_retx",
+    );
+}

@@ -1,0 +1,54 @@
+//! Extension X5: saturation analysis.
+//!
+//! EXPERIMENTS.md documents that this substrate saturates at a lower
+//! source rate than the paper's GloMoSim setup. This experiment locates
+//! the knee precisely: per-receiver goodput (delivered packets/s averaged
+//! over the 74 receivers) against offered rate. Below the knee goodput
+//! tracks the offered rate; past it, goodput flattens (RMAC) or collapses
+//! (BMMM) while delay explodes.
+
+use rmac_engine::{run_replication, Protocol, ScenarioConfig};
+use rmac_metrics::table::fmt;
+use rmac_metrics::{RunReport, Table};
+
+fn main() {
+    let seeds: u64 = std::env::var("RMAC_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let packets: u64 = std::env::var("RMAC_PACKETS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(500);
+    let mut t = Table::new(
+        "X5 — per-receiver goodput vs offered rate (stationary, 75 nodes)",
+        &[
+            "offered_pps",
+            "RMAC goodput",
+            "RMAC delay_s",
+            "BMMM goodput",
+            "BMMM delay_s",
+        ],
+    );
+    for rate in [10.0, 20.0, 30.0, 40.0, 60.0, 80.0, 120.0, 160.0, 200.0] {
+        let cfg = ScenarioConfig::paper_stationary(rate).with_packets(packets);
+        let avg = |p: Protocol| {
+            let rs: Vec<RunReport> = (0..seeds).map(|s| run_replication(&cfg, p, s)).collect();
+            RunReport::average(&rs)
+        };
+        let rmac = avg(Protocol::Rmac);
+        let bmmm = avg(Protocol::Bmmm);
+        // Delivered packets per second per receiver = delivery ratio ×
+        // offered rate (each receiver should see every packet).
+        t.row(vec![
+            fmt(rate, 0),
+            fmt(rmac.delivery_ratio() * rate, 1),
+            fmt(rmac.e2e_delay_avg_s, 3),
+            fmt(bmmm.delivery_ratio() * rate, 1),
+            fmt(bmmm.e2e_delay_avg_s, 3),
+        ]);
+    }
+    println!("{}", t.render());
+    let _ = std::fs::create_dir_all("results");
+    let _ = std::fs::write("results/ext_goodput.csv", t.to_csv());
+}

@@ -1,0 +1,39 @@
+//! Extension X1: compare all five MAC protocols (RMAC, BMMM, BMW, LBP and
+//! the RMAC-without-RBT ablation) on the stationary scenario. The paper
+//! only evaluates RMAC vs BMMM; BMW and LBP are reconstructed from their
+//! original descriptions (see `rmac-baselines`).
+
+use rmac_engine::Protocol;
+use rmac_experiments::{figures, run_sweep, ScenarioKind, SweepSpec};
+
+fn main() {
+    let spec = SweepSpec::paper()
+        .only_scenario(ScenarioKind::Stationary)
+        .with_protocols(vec![
+            Protocol::Rmac,
+            Protocol::Bmmm,
+            Protocol::Bmw,
+            Protocol::Lbp,
+            Protocol::Mx80211,
+        ]);
+    eprintln!("running {} replications…", spec.replication_count());
+    let results = run_sweep(&spec);
+    figures::emit(
+        &figures::metric_tables(&results, "X1", "packet delivery ratio", 4, |r| {
+            r.delivery_ratio()
+        }),
+        "ext_shootout_delivery",
+    );
+    figures::emit(
+        &figures::metric_tables(&results, "X1", "avg end-to-end delay (s)", 4, |r| {
+            r.e2e_delay_avg_s
+        }),
+        "ext_shootout_delay",
+    );
+    figures::emit(
+        &figures::metric_tables(&results, "X1", "avg transmission overhead ratio", 3, |r| {
+            r.txoh_ratio_avg
+        }),
+        "ext_shootout_overhead",
+    );
+}

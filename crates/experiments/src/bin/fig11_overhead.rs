@@ -1,0 +1,11 @@
+//! Regenerate the paper's Fig. 11 tables. See `all_figures` for the
+//! scale environment knobs.
+
+use rmac_experiments::{figures, run_sweep, SweepSpec};
+
+fn main() {
+    let spec = SweepSpec::paper();
+    eprintln!("running {} replications…", spec.replication_count());
+    let results = run_sweep(&spec);
+    figures::emit(&figures::fig11(&results), "fig11_overhead");
+}

@@ -1,0 +1,12 @@
+//! Regenerate the paper's Fig. 12 tables (RMAC-only statistics). See
+//! `all_figures` for the scale environment knobs.
+
+use rmac_engine::Protocol;
+use rmac_experiments::{figures, run_sweep, SweepSpec};
+
+fn main() {
+    let spec = SweepSpec::paper().with_protocols(vec![Protocol::Rmac]);
+    eprintln!("running {} replications…", spec.replication_count());
+    let results = run_sweep(&spec);
+    figures::emit(&figures::fig12(&results), "fig12_mrts_len");
+}

@@ -1,0 +1,22 @@
+//! Timing/shape probe for the mobile scenarios: one quick replication per
+//! (scenario, rate, protocol) with the headline metrics. Used during
+//! calibration; not part of the paper reproduction.
+
+use std::time::Instant;
+use rmac_engine::{run_replication, Protocol, ScenarioConfig};
+fn main() {
+    for (label, cfg) in [
+        ("speed1@20", ScenarioConfig::paper_speed1(20.0).with_packets(100)),
+        ("speed2@20", ScenarioConfig::paper_speed2(20.0).with_packets(100)),
+        ("speed2@120", ScenarioConfig::paper_speed2(120.0).with_packets(100)),
+    ] {
+        for proto in [Protocol::Rmac, Protocol::Bmmm] {
+            let cfg = cfg.clone();
+            let t0 = Instant::now();
+            let r = run_replication(&cfg, proto, 0);
+            println!("{label} {:>5}: {:>7.2?}, deliv={:.3}, drop={:.4}, retx={:.3}, txoh={:.2}, delay={:.3}, abort={:.5}, mrts_avg={:.1}",
+                r.protocol, t0.elapsed(), r.delivery_ratio(), r.drop_ratio_avg, r.retx_ratio_avg,
+                r.txoh_ratio_avg, r.e2e_delay_avg_s, r.abort_avg, r.mrts_len_avg);
+        }
+    }
+}

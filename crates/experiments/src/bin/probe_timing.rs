@@ -1,0 +1,29 @@
+//! Timing probe: wall-clock cost of single replications at various scales.
+//! Used to pick tractable defaults; not part of the paper reproduction.
+
+use std::time::Instant;
+
+use rmac_engine::{run_replication, Protocol, ScenarioConfig};
+
+fn main() {
+    for (rate, packets) in [(5.0, 100u64), (40.0, 100), (120.0, 100)] {
+        for proto in [Protocol::Rmac, Protocol::Bmmm] {
+            let cfg = ScenarioConfig::paper_stationary(rate).with_packets(packets);
+            let t0 = Instant::now();
+            let r = run_replication(&cfg, proto, 0);
+            let dt = t0.elapsed();
+            println!(
+                "{:>5} rate={rate:>5} pkts={packets:>5}: {:>8.2?} wall, {:>9} events, deliv={:.3}, drop={:.4}, retx={:.3}, txoh={:.2}, delay={:.3}s, nonleaf={}",
+                r.protocol,
+                dt,
+                r.events,
+                r.delivery_ratio(),
+                r.drop_ratio_avg,
+                r.retx_ratio_avg,
+                r.txoh_ratio_avg,
+                r.e2e_delay_avg_s,
+                r.nonleaf_nodes,
+            );
+        }
+    }
+}

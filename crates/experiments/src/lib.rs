@@ -1,0 +1,24 @@
+//! The evaluation harness: parameter sweeps and figure generators.
+//!
+//! The paper's §4 grid is 3 scenarios × 8 source rates × 10 random
+//! placements × {RMAC, BMMM}. [`SweepSpec`] describes such a grid,
+//! [`run_sweep`] executes it (replications in parallel via rayon — each
+//! replication is itself a deterministic single-threaded simulation), and
+//! the [`figures`] module turns the pooled results into the tables behind
+//! each figure.
+//!
+//! Scale knobs (environment variables, so the same binaries serve both a
+//! quick shape-check and a paper-scale reproduction):
+//!
+//! | Variable | Meaning | Default |
+//! |----------|---------|---------|
+//! | `RMAC_PACKETS` | packets per replication | 1000 |
+//! | `RMAC_SEEDS` | placements per data point | 10 |
+//! | `RMAC_RATES` | comma-separated source rates | 5,10,20,40,60,80,100,120 |
+//! | `RMAC_NODES` | network size | 75 |
+//! | `RMAC_QUICK` | `1` ⇒ tiny smoke-scale grid | unset |
+
+pub mod figures;
+pub mod sweep;
+
+pub use sweep::{run_sweep, ScenarioKind, SweepResults, SweepSpec};

@@ -1,0 +1,252 @@
+//! Parameter sweeps over the paper's evaluation grid.
+
+use rayon::prelude::*;
+use rmac_engine::{run_replication, Protocol, ScenarioConfig};
+use rmac_metrics::RunReport;
+
+/// The paper's three mobility scenarios (§4.1.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ScenarioKind {
+    /// No node is moving.
+    Stationary,
+    /// Random waypoint, 0–4 m/s, 10 s pauses.
+    Speed1,
+    /// Random waypoint, 0–8 m/s, 5 s pauses.
+    Speed2,
+}
+
+impl ScenarioKind {
+    /// All three, in the paper's order.
+    pub const ALL: [ScenarioKind; 3] = [
+        ScenarioKind::Stationary,
+        ScenarioKind::Speed1,
+        ScenarioKind::Speed2,
+    ];
+
+    /// Label used in reports and file names.
+    pub fn label(self) -> &'static str {
+        match self {
+            ScenarioKind::Stationary => "stationary",
+            ScenarioKind::Speed1 => "speed1",
+            ScenarioKind::Speed2 => "speed2",
+        }
+    }
+
+    /// The paper-parameterised scenario config at one source rate.
+    pub fn config(self, rate: f64) -> ScenarioConfig {
+        match self {
+            ScenarioKind::Stationary => ScenarioConfig::paper_stationary(rate),
+            ScenarioKind::Speed1 => ScenarioConfig::paper_speed1(rate),
+            ScenarioKind::Speed2 => ScenarioConfig::paper_speed2(rate),
+        }
+    }
+}
+
+/// A sweep over (scenario × rate × seed × protocol).
+#[derive(Clone, Debug)]
+pub struct SweepSpec {
+    /// Scenarios to run.
+    pub scenarios: Vec<ScenarioKind>,
+    /// Source rates in packets/second.
+    pub rates: Vec<f64>,
+    /// Replication seeds (one random placement each).
+    pub seeds: Vec<u64>,
+    /// Protocols to compare.
+    pub protocols: Vec<Protocol>,
+    /// Packets per replication.
+    pub packets: u64,
+    /// Network size.
+    pub nodes: usize,
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+impl SweepSpec {
+    /// The paper's full grid (§4.1.2), scaled by the `RMAC_*` environment
+    /// knobs described in the crate docs.
+    pub fn paper() -> SweepSpec {
+        if std::env::var("RMAC_QUICK").as_deref() == Ok("1") {
+            return SweepSpec::quick();
+        }
+        let rates = std::env::var("RMAC_RATES")
+            .ok()
+            .map(|v| {
+                v.split(',')
+                    .map(|s| s.trim().parse().expect("RMAC_RATES must be numeric"))
+                    .collect()
+            })
+            .unwrap_or_else(|| vec![5.0, 10.0, 20.0, 40.0, 60.0, 80.0, 100.0, 120.0]);
+        SweepSpec {
+            scenarios: ScenarioKind::ALL.to_vec(),
+            rates,
+            seeds: (0..env_u64("RMAC_SEEDS", 10)).collect(),
+            protocols: vec![Protocol::Rmac, Protocol::Bmmm],
+            packets: env_u64("RMAC_PACKETS", 1000),
+            nodes: env_u64("RMAC_NODES", 75) as usize,
+        }
+    }
+
+    /// A smoke-scale grid for CI and benches: three rates, two seeds,
+    /// 60 packets, 30 nodes.
+    pub fn quick() -> SweepSpec {
+        SweepSpec {
+            scenarios: ScenarioKind::ALL.to_vec(),
+            rates: vec![5.0, 40.0, 120.0],
+            seeds: vec![0, 1],
+            protocols: vec![Protocol::Rmac, Protocol::Bmmm],
+            packets: 60,
+            nodes: 30,
+        }
+    }
+
+    /// Restrict to a single scenario.
+    pub fn only_scenario(mut self, s: ScenarioKind) -> Self {
+        self.scenarios = vec![s];
+        self
+    }
+
+    /// Restrict the protocol set.
+    pub fn with_protocols(mut self, protocols: Vec<Protocol>) -> Self {
+        self.protocols = protocols;
+        self
+    }
+
+    /// Total number of replications the sweep will run.
+    pub fn replication_count(&self) -> usize {
+        self.scenarios.len() * self.rates.len() * self.seeds.len() * self.protocols.len()
+    }
+}
+
+/// Pooled sweep output: one averaged report per grid point plus the raw
+/// per-seed reports.
+#[derive(Clone, Debug, Default)]
+pub struct SweepResults {
+    /// One averaged report per (scenario, protocol, rate).
+    pub points: Vec<RunReport>,
+    /// Every raw replication report.
+    pub raw: Vec<RunReport>,
+}
+
+impl SweepResults {
+    /// The averaged report for a grid point, if it was part of the sweep.
+    pub fn get(&self, scenario: ScenarioKind, protocol: Protocol, rate: f64) -> Option<&RunReport> {
+        self.points.iter().find(|r| {
+            r.scenario == scenario.label() && r.protocol == protocol.label() && r.rate_pps == rate
+        })
+    }
+
+    /// All rates present for a scenario/protocol pair, sorted.
+    pub fn rates(&self) -> Vec<f64> {
+        let mut v: Vec<f64> = Vec::new();
+        for r in &self.points {
+            if !v.contains(&r.rate_pps) {
+                v.push(r.rate_pps);
+            }
+        }
+        v.sort_by(|a, b| a.partial_cmp(b).expect("rate NaN"));
+        v
+    }
+}
+
+/// Execute a sweep: replications run in parallel (rayon), grid points are
+/// averaged over seeds exactly as the paper averages its ten placements.
+pub fn run_sweep(spec: &SweepSpec) -> SweepResults {
+    // Enumerate the full task list, run it in parallel, then group.
+    let mut tasks = Vec::new();
+    for &scenario in &spec.scenarios {
+        for &rate in &spec.rates {
+            for &protocol in &spec.protocols {
+                for &seed in &spec.seeds {
+                    tasks.push((scenario, rate, protocol, seed));
+                }
+            }
+        }
+    }
+    let raw: Vec<RunReport> = tasks
+        .par_iter()
+        .map(|&(scenario, rate, protocol, seed)| {
+            let cfg = scenario
+                .config(rate)
+                .with_packets(spec.packets)
+                .with_nodes(spec.nodes);
+            run_replication(&cfg, protocol, seed)
+        })
+        .collect();
+    let mut points = Vec::new();
+    for &scenario in &spec.scenarios {
+        for &rate in &spec.rates {
+            for &protocol in &spec.protocols {
+                let group: Vec<RunReport> = raw
+                    .iter()
+                    .filter(|r| {
+                        r.scenario == scenario.label()
+                            && r.protocol == protocol.label()
+                            && r.rate_pps == rate
+                    })
+                    .cloned()
+                    .collect();
+                if !group.is_empty() {
+                    points.push(RunReport::average(&group));
+                }
+            }
+        }
+    }
+    SweepResults { points, raw }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_counts() {
+        let spec = SweepSpec {
+            scenarios: vec![ScenarioKind::Stationary, ScenarioKind::Speed1],
+            rates: vec![5.0, 10.0],
+            seeds: vec![0, 1, 2],
+            protocols: vec![Protocol::Rmac],
+            packets: 10,
+            nodes: 10,
+        };
+        assert_eq!(spec.replication_count(), 12);
+    }
+
+    #[test]
+    fn quick_spec_is_small() {
+        let q = SweepSpec::quick();
+        assert!(q.replication_count() <= 36);
+        assert!(q.packets <= 100);
+    }
+
+    #[test]
+    fn tiny_sweep_runs_and_groups() {
+        let spec = SweepSpec {
+            scenarios: vec![ScenarioKind::Stationary],
+            rates: vec![20.0],
+            seeds: vec![0, 1],
+            protocols: vec![Protocol::Rmac],
+            packets: 10,
+            nodes: 8,
+        };
+        let res = run_sweep(&spec);
+        assert_eq!(res.raw.len(), 2);
+        assert_eq!(res.points.len(), 1);
+        let p = res
+            .get(ScenarioKind::Stationary, Protocol::Rmac, 20.0)
+            .expect("point exists");
+        assert_eq!(p.packets_sent, 20, "pooled over both seeds");
+        assert_eq!(res.rates(), vec![20.0]);
+    }
+
+    #[test]
+    fn scenario_labels_match_configs() {
+        for s in ScenarioKind::ALL {
+            assert_eq!(s.config(5.0).name, s.label());
+        }
+    }
+}

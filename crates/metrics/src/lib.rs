@@ -1,0 +1,19 @@
+//! Statistics and reporting for the evaluation harness.
+//!
+//! * [`stats`] — numerically careful reducers: online mean/variance
+//!   (Welford) and exact percentiles over sample vectors, matching the
+//!   paper's "average / 99 percentile / maximum" presentation.
+//! * [`report`] — [`report::RunReport`], the record one simulation
+//!   replication produces, with the paper's derived metrics (R_deliv,
+//!   R_drop, R_retx, R_txoh, R_abort, MRTS lengths, end-to-end delay) and
+//!   cross-replication averaging.
+//! * [`table`] — plain-text table rendering and CSV output for the
+//!   experiment binaries.
+
+pub mod report;
+pub mod stats;
+pub mod table;
+
+pub use report::RunReport;
+pub use stats::{percentile, OnlineStats};
+pub use table::Table;

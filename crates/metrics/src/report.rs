@@ -1,0 +1,216 @@
+//! Per-replication result records.
+
+use serde::{Deserialize, Serialize};
+
+/// Everything one simulation replication reports — the raw material for
+/// every figure in the paper's §4.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Protocol label ("RMAC", "BMMM", …).
+    pub protocol: String,
+    /// Scenario label ("stationary", "speed1", "speed2").
+    pub scenario: String,
+    /// Source transmission rate (packets per second).
+    pub rate_pps: f64,
+    /// Replication seed.
+    pub seed: u64,
+    /// Application packets generated at the source.
+    pub packets_sent: u64,
+    /// `packets_sent × (nodes − 1)`: what full reliability would deliver.
+    pub expected_receptions: u64,
+    /// Unique application-level packet receptions across all nodes.
+    pub receptions: u64,
+    /// Nodes that forwarded at least one reliable packet.
+    pub nonleaf_nodes: u64,
+    /// Mean per-node packet drop ratio over non-leaf nodes (Fig. 8).
+    pub drop_ratio_avg: f64,
+    /// Mean per-node retransmission ratio over non-leaf nodes (Fig. 10).
+    pub retx_ratio_avg: f64,
+    /// Mean per-node transmission overhead ratio over non-leaf nodes
+    /// (Fig. 11).
+    pub txoh_ratio_avg: f64,
+    /// MRTS abortion ratio over non-leaf nodes: mean / 99p / max (Fig. 13).
+    pub abort_avg: f64,
+    /// 99th percentile of the per-node abortion ratios.
+    pub abort_p99: f64,
+    /// Maximum per-node abortion ratio.
+    pub abort_max: f64,
+    /// MRTS lengths in bytes: mean / 99p / max over all MRTSs (Fig. 12).
+    pub mrts_len_avg: f64,
+    /// 99th percentile MRTS length.
+    pub mrts_len_p99: f64,
+    /// Maximum MRTS length.
+    pub mrts_len_max: f64,
+    /// Mean end-to-end delay over all deliveries, in seconds (Fig. 9).
+    pub e2e_delay_avg_s: f64,
+    /// Number of delay samples behind the mean.
+    pub delay_samples: u64,
+    /// Tree statistics at end of run: hops to root, mean / 99p (§4.1.1).
+    pub hops_avg: f64,
+    /// 99th percentile hops to root.
+    pub hops_p99: f64,
+    /// Mean children per non-leaf node.
+    pub children_avg: f64,
+    /// 99th percentile children count.
+    pub children_p99: f64,
+    /// Simulation events processed (throughput diagnostics).
+    pub events: u64,
+    /// Simulated duration in seconds.
+    pub sim_secs: f64,
+}
+
+impl RunReport {
+    /// The paper's packet delivery ratio R_deliv (Fig. 7).
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.expected_receptions == 0 {
+            0.0
+        } else {
+            self.receptions as f64 / self.expected_receptions as f64
+        }
+    }
+
+    /// Average several replications into one point (the paper averages ten
+    /// random placements per data point). Max fields take the max across
+    /// replications; percentile fields are averaged.
+    pub fn average(reports: &[RunReport]) -> RunReport {
+        assert!(!reports.is_empty(), "average of zero reports");
+        let n = reports.len() as f64;
+        let mean = |f: &dyn Fn(&RunReport) -> f64| reports.iter().map(f).sum::<f64>() / n;
+        let maxf = |f: &dyn Fn(&RunReport) -> f64| {
+            reports.iter().map(f).fold(f64::NEG_INFINITY, f64::max)
+        };
+        let sum_u = |f: &dyn Fn(&RunReport) -> u64| reports.iter().map(f).sum::<u64>();
+        RunReport {
+            protocol: reports[0].protocol.clone(),
+            scenario: reports[0].scenario.clone(),
+            rate_pps: reports[0].rate_pps,
+            seed: 0,
+            packets_sent: sum_u(&|r| r.packets_sent),
+            expected_receptions: sum_u(&|r| r.expected_receptions),
+            receptions: sum_u(&|r| r.receptions),
+            nonleaf_nodes: sum_u(&|r| r.nonleaf_nodes),
+            drop_ratio_avg: mean(&|r| r.drop_ratio_avg),
+            retx_ratio_avg: mean(&|r| r.retx_ratio_avg),
+            txoh_ratio_avg: mean(&|r| r.txoh_ratio_avg),
+            abort_avg: mean(&|r| r.abort_avg),
+            abort_p99: mean(&|r| r.abort_p99),
+            abort_max: maxf(&|r| r.abort_max),
+            mrts_len_avg: mean(&|r| r.mrts_len_avg),
+            mrts_len_p99: mean(&|r| r.mrts_len_p99),
+            mrts_len_max: maxf(&|r| r.mrts_len_max),
+            e2e_delay_avg_s: mean(&|r| r.e2e_delay_avg_s),
+            delay_samples: sum_u(&|r| r.delay_samples),
+            hops_avg: mean(&|r| r.hops_avg),
+            hops_p99: mean(&|r| r.hops_p99),
+            children_avg: mean(&|r| r.children_avg),
+            children_p99: mean(&|r| r.children_p99),
+            events: sum_u(&|r| r.events),
+            sim_secs: mean(&|r| r.sim_secs),
+        }
+    }
+}
+
+/// Cross-replication dispersion of the headline metrics, reported next to
+/// the averaged point (the paper plots bare means over its ten
+/// placements; the dispersion quantifies how stable those means are).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Dispersion {
+    /// Number of replications pooled.
+    pub n: usize,
+    /// Sample standard deviation of the delivery ratio.
+    pub delivery_sd: f64,
+    /// Sample standard deviation of the mean end-to-end delay (s).
+    pub delay_sd: f64,
+    /// Sample standard deviation of the retransmission ratio.
+    pub retx_sd: f64,
+}
+
+impl RunReport {
+    /// Average with dispersion of the headline metrics across seeds.
+    pub fn average_with_dispersion(reports: &[RunReport]) -> (RunReport, Dispersion) {
+        let avg = RunReport::average(reports);
+        let sd = |f: &dyn Fn(&RunReport) -> f64| {
+            let n = reports.len() as f64;
+            if reports.len() < 2 {
+                return 0.0;
+            }
+            let mean = reports.iter().map(f).sum::<f64>() / n;
+            let var = reports.iter().map(|r| (f(r) - mean).powi(2)).sum::<f64>() / (n - 1.0);
+            var.sqrt()
+        };
+        let d = Dispersion {
+            n: reports.len(),
+            delivery_sd: sd(&|r: &RunReport| r.delivery_ratio()),
+            delay_sd: sd(&|r: &RunReport| r.e2e_delay_avg_s),
+            retx_sd: sd(&|r: &RunReport| r.retx_ratio_avg),
+        };
+        (avg, d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(receptions: u64, expected: u64, drop: f64) -> RunReport {
+        RunReport {
+            protocol: "RMAC".into(),
+            scenario: "stationary".into(),
+            rate_pps: 10.0,
+            receptions,
+            expected_receptions: expected,
+            drop_ratio_avg: drop,
+            abort_max: drop * 2.0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn delivery_ratio_guards_zero() {
+        assert_eq!(RunReport::default().delivery_ratio(), 0.0);
+        assert_eq!(report(74, 74, 0.0).delivery_ratio(), 1.0);
+        assert!((report(37, 74, 0.0).delivery_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_pools_counts_and_means_ratios() {
+        let a = report(70, 74, 0.1);
+        let b = report(74, 74, 0.3);
+        let avg = RunReport::average(&[a, b]);
+        assert_eq!(avg.receptions, 144);
+        assert_eq!(avg.expected_receptions, 148);
+        assert!((avg.drop_ratio_avg - 0.2).abs() < 1e-12);
+        assert!((avg.abort_max - 0.6).abs() < 1e-12, "max takes the max");
+        assert!((avg.delivery_ratio() - 144.0 / 148.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "average of zero")]
+    fn average_of_none_panics() {
+        RunReport::average(&[]);
+    }
+
+    #[test]
+    fn dispersion_of_identical_reports_is_zero() {
+        let a = report(70, 74, 0.1);
+        let (_, d) = RunReport::average_with_dispersion(&[a.clone(), a]);
+        assert_eq!(d.n, 2);
+        assert_eq!(d.delivery_sd, 0.0);
+        assert_eq!(d.retx_sd, 0.0);
+    }
+
+    #[test]
+    fn dispersion_measures_spread() {
+        let a = report(60, 74, 0.0);
+        let b = report(74, 74, 0.0);
+        let (_, d) = RunReport::average_with_dispersion(&[a, b]);
+        assert!(d.delivery_sd > 0.1, "{}", d.delivery_sd);
+    }
+
+    #[test]
+    fn single_report_has_zero_dispersion() {
+        let (_, d) = RunReport::average_with_dispersion(&[report(74, 74, 0.0)]);
+        assert_eq!(d.n, 1);
+        assert_eq!(d.delivery_sd, 0.0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Planar geometry primitives.
+
+/// A position on the simulation plane, in meters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Pos {
+    /// X coordinate (m).
+    pub x: f64,
+    /// Y coordinate (m).
+    pub y: f64,
+}
+
+impl Pos {
+    /// Construct a position.
+    pub const fn new(x: f64, y: f64) -> Pos {
+        Pos { x, y }
+    }
+
+    /// Euclidean distance to another position (m).
+    #[inline]
+    pub fn dist(self, other: Pos) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Squared distance — cheaper when only comparing against a threshold.
+    #[inline]
+    pub fn dist_sq(self, other: Pos) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Linear interpolation: the point a fraction `f ∈ [0,1]` of the way
+    /// from `self` to `to`.
+    #[inline]
+    pub fn lerp(self, to: Pos, f: f64) -> Pos {
+        Pos {
+            x: self.x + (to.x - self.x) * f,
+            y: self.y + (to.y - self.y) * f,
+        }
+    }
+}
+
+/// The rectangular simulation plane `[0, width] × [0, height]`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Bounds {
+    /// Plane width (m).
+    pub width: f64,
+    /// Plane height (m).
+    pub height: f64,
+}
+
+impl Bounds {
+    /// Construct a plane.
+    pub const fn new(width: f64, height: f64) -> Bounds {
+        Bounds { width, height }
+    }
+
+    /// The paper's 500 m × 300 m plane (§4.1.1).
+    pub const PAPER: Bounds = Bounds::new(500.0, 300.0);
+
+    /// Whether `p` lies inside (or on the border of) the plane.
+    pub fn contains(&self, p: Pos) -> bool {
+        (0.0..=self.width).contains(&p.x) && (0.0..=self.height).contains(&p.y)
+    }
+
+    /// Clamp a position onto the plane.
+    pub fn clamp(&self, p: Pos) -> Pos {
+        Pos {
+            x: p.x.clamp(0.0, self.width),
+            y: p.y.clamp(0.0, self.height),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance() {
+        let a = Pos::new(0.0, 0.0);
+        let b = Pos::new(3.0, 4.0);
+        assert_eq!(a.dist(b), 5.0);
+        assert_eq!(a.dist_sq(b), 25.0);
+        assert_eq!(a.dist(a), 0.0);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Pos::new(0.0, 10.0);
+        let b = Pos::new(10.0, 0.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Pos::new(5.0, 5.0));
+    }
+
+    #[test]
+    fn bounds_contains_and_clamp() {
+        let b = Bounds::PAPER;
+        assert!(b.contains(Pos::new(0.0, 0.0)));
+        assert!(b.contains(Pos::new(500.0, 300.0)));
+        assert!(!b.contains(Pos::new(500.1, 0.0)));
+        assert!(!b.contains(Pos::new(0.0, -0.1)));
+        assert_eq!(b.clamp(Pos::new(600.0, -5.0)), Pos::new(500.0, 0.0));
+    }
+}

@@ -1,0 +1,20 @@
+//! Node mobility models.
+//!
+//! The paper evaluates three scenarios (§4.1.2): stationary nodes, and two
+//! random-waypoint configurations ("speed 1": 0–4 m/s with 10 s pauses,
+//! "speed 2": 0–8 m/s with 5 s pauses) on a 500 m × 300 m plane.
+//!
+//! Trajectories here are *analytic*: a node's motion is a sequence of
+//! (pause, straight-line leg) phases, and its position at any queried time
+//! is computed in closed form from the current phase. The simulation never
+//! ticks positions on a clock — the PHY simply asks "where is node i now?"
+//! when a transmission starts. Queries must be non-decreasing in time,
+//! which the event queue guarantees.
+
+pub mod geom;
+pub mod model;
+pub mod placement;
+
+pub use geom::{Bounds, Pos};
+pub use model::{MobilityKind, Motion};
+pub use placement::random_positions;

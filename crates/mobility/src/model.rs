@@ -1,0 +1,327 @@
+//! Motion models: stationary and random waypoint.
+
+use rmac_sim::{SimRng, SimTime};
+
+use crate::geom::{Bounds, Pos};
+
+/// Which mobility model a scenario uses, with its parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum MobilityKind {
+    /// Nodes never move.
+    Stationary,
+    /// Random waypoint (Bettstetter \[2\]): pick a uniform destination, move
+    /// toward it at a speed uniform in `[min_speed, max_speed]`, pause for
+    /// `pause`, repeat.
+    RandomWaypoint {
+        /// Minimum leg speed (m/s).
+        min_speed: f64,
+        /// Maximum leg speed (m/s).
+        max_speed: f64,
+        /// Pause between legs.
+        pause: SimTime,
+    },
+}
+
+impl MobilityKind {
+    /// The paper's "Moving at speed 1": 0–4 m/s, 10 s pause.
+    pub const fn paper_speed1() -> MobilityKind {
+        MobilityKind::RandomWaypoint {
+            min_speed: 0.0,
+            max_speed: 4.0,
+            pause: SimTime::from_secs(10),
+        }
+    }
+
+    /// The paper's "Moving at speed 2": 0–8 m/s, 5 s pause.
+    pub const fn paper_speed2() -> MobilityKind {
+        MobilityKind::RandomWaypoint {
+            min_speed: 0.0,
+            max_speed: 8.0,
+            pause: SimTime::from_secs(5),
+        }
+    }
+}
+
+/// The current phase of a trajectory.
+#[derive(Clone, Debug)]
+enum Phase {
+    /// Standing at `pos` until `until` (SimTime::MAX for stationary nodes).
+    Still { pos: Pos, until: SimTime },
+    /// Moving from `from` (departed at `start`) to `to` (arriving `arrive`).
+    Moving {
+        from: Pos,
+        to: Pos,
+        start: SimTime,
+        arrive: SimTime,
+    },
+}
+
+/// One node's analytic trajectory.
+///
+/// `position_at` may be called with any non-decreasing sequence of times;
+/// it lazily extends the trajectory with fresh waypoint legs as simulated
+/// time advances.
+#[derive(Clone, Debug)]
+pub struct Motion {
+    kind: MobilityKind,
+    bounds: Bounds,
+    rng: SimRng,
+    phase: Phase,
+}
+
+/// A node whose drawn speed is ~0 would never arrive; the random waypoint
+/// literature (and GloMoSim) floors the speed. 0.01 m/s is slow enough to
+/// be "not moving" at simulation scale.
+const MIN_EFFECTIVE_SPEED: f64 = 0.01;
+
+impl Motion {
+    /// A node fixed at `pos` forever.
+    pub fn stationary(pos: Pos) -> Motion {
+        Motion {
+            kind: MobilityKind::Stationary,
+            bounds: Bounds::PAPER,
+            rng: SimRng::new(0),
+            phase: Phase::Still {
+                pos,
+                until: SimTime::MAX,
+            },
+        }
+    }
+
+    /// A scripted straight-line trip: depart `from` at `depart`, travel to
+    /// `to` at `speed` m/s, then stand at `to` forever. Used by tests and
+    /// hand-built scenarios that need a deterministic trajectory.
+    pub fn linear(from: Pos, to: Pos, depart: SimTime, speed: f64) -> Motion {
+        let speed = speed.max(MIN_EFFECTIVE_SPEED);
+        let duration = SimTime::from_secs_f64(from.dist(to) / speed);
+        Motion {
+            kind: MobilityKind::Stationary,
+            bounds: Bounds::PAPER,
+            rng: SimRng::new(0),
+            phase: Phase::Moving {
+                from,
+                to,
+                start: depart,
+                arrive: depart + duration,
+            },
+        }
+    }
+
+    /// A node starting at `pos` and following `kind` within `bounds`,
+    /// with randomness drawn from `rng`.
+    pub fn new(pos: Pos, kind: MobilityKind, bounds: Bounds, rng: SimRng) -> Motion {
+        let phase = match kind {
+            MobilityKind::Stationary => Phase::Still {
+                pos,
+                until: SimTime::MAX,
+            },
+            // Waypoint nodes start by immediately choosing a destination
+            // (an initial pause would just shift the warm-up period).
+            MobilityKind::RandomWaypoint { .. } => Phase::Still {
+                pos,
+                until: SimTime::ZERO,
+            },
+        };
+        Motion {
+            kind,
+            bounds,
+            rng,
+            phase,
+        }
+    }
+
+    /// The node's position at time `t`. Must be called with non-decreasing
+    /// `t` across calls (enforced only by debug assertions in the phase
+    /// advancement).
+    pub fn position_at(&mut self, t: SimTime) -> Pos {
+        loop {
+            match self.phase {
+                Phase::Still { pos, until } => {
+                    if t <= until || matches!(self.kind, MobilityKind::Stationary) {
+                        return pos;
+                    }
+                    self.begin_leg(pos, until);
+                }
+                Phase::Moving {
+                    from,
+                    to,
+                    start,
+                    arrive,
+                } => {
+                    if t >= arrive {
+                        let pause = match self.kind {
+                            MobilityKind::RandomWaypoint { pause, .. } => pause,
+                            MobilityKind::Stationary => SimTime::MAX,
+                        };
+                        self.phase = Phase::Still {
+                            pos: to,
+                            until: arrive.saturating_add(pause),
+                        };
+                        continue;
+                    }
+                    let total = (arrive - start).nanos() as f64;
+                    let done = (t.saturating_sub(start)).nanos() as f64;
+                    return from.lerp(to, if total > 0.0 { done / total } else { 1.0 });
+                }
+            }
+        }
+    }
+
+    /// Whether the node is currently between waypoints (used in tests and
+    /// diagnostics).
+    pub fn is_moving_at(&mut self, t: SimTime) -> bool {
+        self.position_at(t);
+        matches!(self.phase, Phase::Moving { arrive, .. } if t < arrive)
+    }
+
+    fn begin_leg(&mut self, from: Pos, depart: SimTime) {
+        let (min_speed, max_speed) = match self.kind {
+            MobilityKind::RandomWaypoint {
+                min_speed,
+                max_speed,
+                ..
+            } => (min_speed, max_speed),
+            MobilityKind::Stationary => unreachable!("stationary nodes never start legs"),
+        };
+        let to = Pos::new(
+            self.rng.uniform_f64(0.0, self.bounds.width),
+            self.rng.uniform_f64(0.0, self.bounds.height),
+        );
+        let speed = self
+            .rng
+            .uniform_f64(min_speed, max_speed)
+            .max(MIN_EFFECTIVE_SPEED);
+        let duration = SimTime::from_secs_f64(from.dist(to) / speed);
+        self.phase = Phase::Moving {
+            from,
+            to,
+            start: depart,
+            arrive: depart + duration,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn waypoint(seed: u64) -> Motion {
+        Motion::new(
+            Pos::new(250.0, 150.0),
+            MobilityKind::paper_speed1(),
+            Bounds::PAPER,
+            SimRng::new(seed),
+        )
+    }
+
+    #[test]
+    fn stationary_never_moves() {
+        let mut m = Motion::stationary(Pos::new(10.0, 20.0));
+        for s in [0u64, 1, 100, 10_000] {
+            assert_eq!(m.position_at(SimTime::from_secs(s)), Pos::new(10.0, 20.0));
+        }
+        assert!(!m.is_moving_at(SimTime::from_secs(50)));
+    }
+
+    #[test]
+    fn waypoint_stays_in_bounds() {
+        for seed in 0..20 {
+            let mut m = waypoint(seed);
+            for s in 0..2000 {
+                let p = m.position_at(SimTime::from_millis(s * 700));
+                assert!(
+                    Bounds::PAPER.contains(p),
+                    "seed {seed} escaped at {s}: {p:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn waypoint_respects_speed_limit() {
+        // Sample positions 100 ms apart; displacement must not exceed
+        // max_speed · dt (4 m/s ⇒ 0.4 m per 100 ms), with a small epsilon.
+        for seed in 0..10 {
+            let mut m = waypoint(seed);
+            let mut prev = m.position_at(SimTime::ZERO);
+            for s in 1..5000u64 {
+                let t = SimTime::from_millis(s * 100);
+                let p = m.position_at(t);
+                assert!(
+                    prev.dist(p) <= 0.4 + 1e-9,
+                    "seed {seed}: moved {} m in 100 ms",
+                    prev.dist(p)
+                );
+                prev = p;
+            }
+        }
+    }
+
+    #[test]
+    fn waypoint_actually_moves() {
+        let mut m = waypoint(3);
+        let a = m.position_at(SimTime::ZERO);
+        let b = m.position_at(SimTime::from_secs(120));
+        assert!(a.dist(b) > 1.0, "node barely moved: {a:?} -> {b:?}");
+    }
+
+    #[test]
+    fn waypoint_pauses_at_destination() {
+        // Find an arrival: scan until is_moving flips from true to false,
+        // then position must hold still for the pause duration (10 s).
+        let mut m = waypoint(7);
+        let mut t = SimTime::ZERO;
+        while m.is_moving_at(t) || t == SimTime::ZERO {
+            t += SimTime::from_millis(100);
+            assert!(t < SimTime::from_secs(600), "never arrived");
+        }
+        let at_pause = m.position_at(t);
+        // Within the pause (minus the 100 ms scan slack) the node is still.
+        let later = m.position_at(t + SimTime::from_secs(9));
+        assert_eq!(at_pause, later);
+    }
+
+    #[test]
+    fn linear_motion_is_scripted() {
+        let mut m = Motion::linear(
+            Pos::new(0.0, 0.0),
+            Pos::new(100.0, 0.0),
+            SimTime::from_secs(10),
+            10.0,
+        );
+        // Before departure: at origin.
+        assert_eq!(m.position_at(SimTime::from_secs(5)), Pos::new(0.0, 0.0));
+        // Halfway through the 10 s trip.
+        let mid = m.position_at(SimTime::from_secs(15));
+        assert!((mid.x - 50.0).abs() < 1e-9 && mid.y == 0.0);
+        // After arrival: parked at the destination forever.
+        assert_eq!(m.position_at(SimTime::from_secs(25)), Pos::new(100.0, 0.0));
+        assert_eq!(m.position_at(SimTime::from_secs(9999)), Pos::new(100.0, 0.0));
+    }
+
+    #[test]
+    fn same_seed_same_trajectory() {
+        let mut a = waypoint(11);
+        let mut b = waypoint(11);
+        for s in 0..500 {
+            let t = SimTime::from_millis(s * 333);
+            assert_eq!(a.position_at(t), b.position_at(t));
+        }
+    }
+
+    #[test]
+    fn position_is_continuous_across_phase_changes() {
+        let mut m = waypoint(13);
+        let mut prev = m.position_at(SimTime::ZERO);
+        for s in 1..200_000u64 {
+            let t = SimTime::from_millis(s * 10);
+            let p = m.position_at(t);
+            // 10 ms at ≤ 4 m/s ⇒ ≤ 4 cm
+            assert!(prev.dist(p) <= 0.04 + 1e-9);
+            prev = p;
+            if s > 50_000 {
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Initial node placement.
+
+use rmac_sim::SimRng;
+
+use crate::geom::{Bounds, Pos};
+
+/// Place `n` nodes uniformly at random on the plane (§4.1.1: "75 nodes
+/// randomly placed on a 500 m × 300 m plain").
+pub fn random_positions(n: usize, bounds: Bounds, rng: &mut SimRng) -> Vec<Pos> {
+    (0..n)
+        .map(|_| {
+            Pos::new(
+                rng.uniform_f64(0.0, bounds.width),
+                rng.uniform_f64(0.0, bounds.height),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn places_requested_count_in_bounds() {
+        let mut rng = SimRng::new(1);
+        let ps = random_positions(75, Bounds::PAPER, &mut rng);
+        assert_eq!(ps.len(), 75);
+        assert!(ps.iter().all(|&p| Bounds::PAPER.contains(p)));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = random_positions(10, Bounds::PAPER, &mut SimRng::new(5));
+        let b = random_positions(10, Bounds::PAPER, &mut SimRng::new(5));
+        assert_eq!(a, b);
+        let c = random_positions(10, Bounds::PAPER, &mut SimRng::new(6));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn spreads_over_the_plane() {
+        // With 200 uniform samples, all four quadrants should be hit.
+        let ps = random_positions(200, Bounds::PAPER, &mut SimRng::new(9));
+        let q = |p: &Pos| (p.x > 250.0) as usize * 2 + (p.y > 150.0) as usize;
+        let mut seen = [false; 4];
+        for p in &ps {
+            seen[q(p)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

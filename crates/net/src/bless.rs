@@ -1,0 +1,358 @@
+//! BLESS-lite: single-source tree maintenance by periodic one-hop beacons.
+
+use std::collections::HashMap;
+
+use rmac_sim::SimTime;
+use rmac_wire::NodeId;
+
+use crate::payload::{NetPayload, HOPS_UNKNOWN};
+
+/// Tree protocol parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct BlessConfig {
+    /// Beacon broadcast period (engine adds per-node jitter).
+    pub beacon_period: SimTime,
+    /// A neighbor/parent/child whose last beacon is older than this is
+    /// forgotten.
+    pub freshness: SimTime,
+    /// The root node (the paper fixes node 0).
+    pub root: NodeId,
+}
+
+impl Default for BlessConfig {
+    fn default() -> Self {
+        BlessConfig {
+            beacon_period: SimTime::from_secs(1),
+            freshness: SimTime::from_secs(3),
+            root: NodeId(0),
+        }
+    }
+}
+
+/// A neighbor's last advertised routing state.
+#[derive(Clone, Copy, Debug)]
+struct NeighborInfo {
+    hops: u32,
+    claims_me_as_parent: bool,
+    last_seen: SimTime,
+}
+
+/// One node's view of the BLESS-lite tree.
+#[derive(Clone, Debug)]
+pub struct BlessState {
+    id: NodeId,
+    cfg: BlessConfig,
+    neighbors: HashMap<NodeId, NeighborInfo>,
+    /// Current parent (None for the root and unrouted nodes).
+    parent: Option<NodeId>,
+    /// Current hops to root (0 for the root, [`HOPS_UNKNOWN`] if unrouted).
+    hops: u32,
+}
+
+impl BlessState {
+    /// Routing state for node `id`.
+    pub fn new(id: NodeId, cfg: BlessConfig) -> BlessState {
+        let hops = if id == cfg.root { 0 } else { HOPS_UNKNOWN };
+        BlessState {
+            id,
+            cfg,
+            neighbors: HashMap::new(),
+            parent: None,
+            hops,
+        }
+    }
+
+    /// Whether this node is the tree root.
+    pub fn is_root(&self) -> bool {
+        self.id == self.cfg.root
+    }
+
+    /// Current hops to root ([`HOPS_UNKNOWN`] if unrouted).
+    pub fn hops(&self) -> u32 {
+        self.hops
+    }
+
+    /// Current parent.
+    pub fn parent(&self) -> Option<NodeId> {
+        self.parent
+    }
+
+    /// Record a received beacon from `src`.
+    pub fn on_beacon(&mut self, now: SimTime, src: NodeId, hops: u32, parent: u16) {
+        let claims_me = parent == self.id.0;
+        self.neighbors.insert(
+            src,
+            NeighborInfo {
+                hops,
+                claims_me_as_parent: claims_me,
+                last_seen: now,
+            },
+        );
+        self.reselect(now);
+    }
+
+    /// Drop stale neighbors and re-run parent selection. Called before
+    /// emitting a beacon and after receiving one.
+    pub fn reselect(&mut self, now: SimTime) {
+        let fresh_after = now.saturating_sub(self.cfg.freshness);
+        self.neighbors.retain(|_, info| info.last_seen >= fresh_after);
+        if self.is_root() {
+            self.hops = 0;
+            self.parent = None;
+            return;
+        }
+        // Parent := fresh neighbor with the fewest advertised hops
+        // (ties broken by lowest id for determinism).
+        let best = self
+            .neighbors
+            .iter()
+            .filter(|(_, info)| info.hops != HOPS_UNKNOWN)
+            .map(|(&n, info)| (info.hops, n))
+            .min();
+        match best {
+            Some((h, n)) => {
+                self.parent = Some(n);
+                self.hops = h + 1;
+            }
+            None => {
+                self.parent = None;
+                self.hops = HOPS_UNKNOWN;
+            }
+        }
+    }
+
+    /// The beacon this node should broadcast now.
+    pub fn make_beacon(&mut self, now: SimTime) -> NetPayload {
+        self.reselect(now);
+        NetPayload::beacon(self.hops, self.parent)
+    }
+
+    /// Refresh a child's freshness on cross-layer evidence that it is
+    /// alive and still attached — e.g. its ABT/ACK on a reliable multicast
+    /// we sent it. Beacons occasionally die in collisions; without this a
+    /// two-beacon gap would silently punch a hole in the tree while the
+    /// MAC is demonstrably still reaching the child.
+    pub fn refresh_child(&mut self, now: SimTime, child: NodeId) {
+        if let Some(info) = self.neighbors.get_mut(&child) {
+            if info.claims_me_as_parent {
+                info.last_seen = now;
+            }
+        }
+    }
+
+    /// Current children: fresh neighbors whose latest beacon claims this
+    /// node as parent.
+    pub fn children(&self, now: SimTime) -> Vec<NodeId> {
+        let fresh_after = now.saturating_sub(self.cfg.freshness);
+        let mut c: Vec<NodeId> = self
+            .neighbors
+            .iter()
+            .filter(|(_, info)| info.claims_me_as_parent && info.last_seen >= fresh_after)
+            .map(|(&n, _)| n)
+            .collect();
+        c.sort();
+        c
+    }
+
+    /// All fresh neighbors (for reliable-broadcast expansion).
+    pub fn fresh_neighbors(&self, now: SimTime) -> Vec<NodeId> {
+        let fresh_after = now.saturating_sub(self.cfg.freshness);
+        let mut v: Vec<NodeId> = self
+            .neighbors
+            .iter()
+            .filter(|(_, info)| info.last_seen >= fresh_after)
+            .map(|(&n, _)| n)
+            .collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u16) -> NodeId {
+        NodeId(i)
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn root_is_always_hops_zero() {
+        let mut b = BlessState::new(n(0), BlessConfig::default());
+        assert!(b.is_root());
+        assert_eq!(b.hops(), 0);
+        b.on_beacon(t(1), n(1), 5, 0);
+        assert_eq!(b.hops(), 0, "root never adopts a parent");
+        assert_eq!(b.parent(), None);
+    }
+
+    #[test]
+    fn node_adopts_min_hop_parent() {
+        let mut b = BlessState::new(n(5), BlessConfig::default());
+        assert_eq!(b.hops(), HOPS_UNKNOWN);
+        b.on_beacon(t(1), n(1), 2, 0);
+        assert_eq!(b.parent(), Some(n(1)));
+        assert_eq!(b.hops(), 3);
+        // A better advertisement wins.
+        b.on_beacon(t(1), n(2), 1, 0);
+        assert_eq!(b.parent(), Some(n(2)));
+        assert_eq!(b.hops(), 2);
+        // A worse one does not.
+        b.on_beacon(t(1), n(3), 7, 0);
+        assert_eq!(b.parent(), Some(n(2)));
+    }
+
+    #[test]
+    fn ties_break_by_lowest_id() {
+        let mut b = BlessState::new(n(5), BlessConfig::default());
+        b.on_beacon(t(1), n(9), 1, 0);
+        b.on_beacon(t(1), n(3), 1, 0);
+        assert_eq!(b.parent(), Some(n(3)));
+    }
+
+    #[test]
+    fn stale_parent_expires() {
+        let mut b = BlessState::new(n(5), BlessConfig::default());
+        b.on_beacon(t(1), n(1), 0, u16::MAX);
+        assert_eq!(b.parent(), Some(n(1)));
+        // 3 s of silence → forgotten.
+        b.reselect(t(5));
+        assert_eq!(b.parent(), None);
+        assert_eq!(b.hops(), HOPS_UNKNOWN);
+    }
+
+    #[test]
+    fn unrouted_neighbors_are_not_parents() {
+        let mut b = BlessState::new(n(5), BlessConfig::default());
+        b.on_beacon(t(1), n(1), HOPS_UNKNOWN, u16::MAX);
+        assert_eq!(b.parent(), None);
+        assert_eq!(b.hops(), HOPS_UNKNOWN);
+    }
+
+    #[test]
+    fn children_are_fresh_claimants() {
+        let mut b = BlessState::new(n(5), BlessConfig::default());
+        b.on_beacon(t(1), n(7), 3, 5); // claims me
+        b.on_beacon(t(1), n(8), 3, 9); // claims someone else
+        b.on_beacon(t(1), n(9), 3, 5); // claims me
+        assert_eq!(b.children(t(1)), vec![n(7), n(9)]);
+        // n(7) goes silent; n(9) refreshes.
+        b.on_beacon(t(5), n(9), 3, 5);
+        assert_eq!(b.children(t(5)), vec![n(9)]);
+    }
+
+    #[test]
+    fn child_that_switches_parent_is_removed() {
+        let mut b = BlessState::new(n(5), BlessConfig::default());
+        b.on_beacon(t(1), n(7), 3, 5);
+        assert_eq!(b.children(t(1)), vec![n(7)]);
+        b.on_beacon(t(2), n(7), 3, 2); // now claims node 2
+        assert_eq!(b.children(t(2)), vec![]);
+    }
+
+    #[test]
+    fn beacon_advertises_current_state() {
+        let mut b = BlessState::new(n(5), BlessConfig::default());
+        b.on_beacon(t(1), n(1), 0, u16::MAX);
+        match b.make_beacon(t(1)) {
+            NetPayload::Beacon { hops, parent } => {
+                assert_eq!(hops, 1);
+                assert_eq!(parent, 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn fresh_neighbors_sorted_and_expiring() {
+        let mut b = BlessState::new(n(5), BlessConfig::default());
+        b.on_beacon(t(1), n(9), 1, 0);
+        b.on_beacon(t(2), n(3), 2, 0);
+        assert_eq!(b.fresh_neighbors(t(2)), vec![n(3), n(9)]);
+        assert_eq!(b.fresh_neighbors(t(5)), vec![n(3)]);
+    }
+
+    #[test]
+    fn two_node_chain_forms() {
+        // root --beacon--> a --beacon--> b : hops propagate.
+        let cfg = BlessConfig::default();
+        let mut a = BlessState::new(n(1), cfg);
+        let mut b = BlessState::new(n(2), cfg);
+        a.on_beacon(t(1), n(0), 0, u16::MAX);
+        let NetPayload::Beacon { hops, parent } = a.make_beacon(t(1)) else {
+            unreachable!()
+        };
+        b.on_beacon(t(1), n(1), hops, parent);
+        assert_eq!(b.hops(), 2);
+        assert_eq!(b.parent(), Some(n(1)));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn n(i: u16) -> NodeId {
+        NodeId(i)
+    }
+
+    proptest! {
+        /// Whatever beacons arrive, a non-root node's hop count is always
+        /// exactly one more than its parent's last advertisement, and the
+        /// parent is always a fresh neighbor.
+        #[test]
+        fn parent_invariants(beacons in proptest::collection::vec(
+            (1u16..20, 0u32..20, 0u16..20, 0u64..10_000), 0..60))
+        {
+            let mut b = BlessState::new(n(0) /* non-root id below */, BlessConfig {
+                root: n(99),
+                ..BlessConfig::default()
+            });
+            let mut advertised: std::collections::HashMap<NodeId, u32> =
+                std::collections::HashMap::new();
+            let mut now = SimTime::ZERO;
+            for (src, hops, parent, dt) in beacons {
+                now += SimTime::from_millis(dt);
+                let src = n(src);
+                b.on_beacon(now, src, hops, parent);
+                advertised.insert(src, hops);
+                match b.parent() {
+                    Some(p) => {
+                        let fresh = b.fresh_neighbors(now);
+                        prop_assert!(fresh.contains(&p), "parent must be fresh");
+                        prop_assert_eq!(b.hops(), advertised[&p] + 1);
+                    }
+                    None => prop_assert_eq!(b.hops(), crate::payload::HOPS_UNKNOWN),
+                }
+            }
+        }
+
+        /// Children are always a subset of fresh neighbors, sorted and
+        /// duplicate-free.
+        #[test]
+        fn children_are_fresh_sorted(beacons in proptest::collection::vec(
+            (1u16..20, 0u32..20, 0u16..6, 0u64..5_000), 0..60))
+        {
+            let mut b = BlessState::new(n(5), BlessConfig::default());
+            let mut now = SimTime::ZERO;
+            for (src, hops, parent, dt) in beacons {
+                now += SimTime::from_millis(dt);
+                b.on_beacon(now, n(src), hops, parent);
+                let kids = b.children(now);
+                let fresh = b.fresh_neighbors(now);
+                for k in &kids {
+                    prop_assert!(fresh.contains(k));
+                }
+                let mut sorted = kids.clone();
+                sorted.sort();
+                sorted.dedup();
+                prop_assert_eq!(&sorted, &kids);
+            }
+        }
+    }
+}

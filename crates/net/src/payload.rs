@@ -1,0 +1,128 @@
+//! On-wire encoding of network-layer payloads.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use rmac_sim::SimTime;
+use rmac_wire::NodeId;
+
+/// Hop count meaning "no route to root yet".
+pub const HOPS_UNKNOWN: u32 = u32::MAX;
+
+/// Parent field meaning "no parent".
+pub const NO_PARENT: u16 = u16::MAX;
+
+/// A decoded network-layer payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetPayload {
+    /// A BLESS-lite routing beacon.
+    Beacon {
+        /// Advertised hops to the root ([`HOPS_UNKNOWN`] if unrouted).
+        hops: u32,
+        /// The sender's current parent ([`NO_PARENT`] if none).
+        parent: u16,
+    },
+    /// A multicast application packet.
+    App {
+        /// Source-assigned packet id.
+        id: u32,
+        /// Generation timestamp at the source (for end-to-end delay).
+        origin: SimTime,
+    },
+}
+
+const TAG_BEACON: u8 = 1;
+const TAG_APP: u8 = 2;
+
+impl NetPayload {
+    /// A beacon payload for a node with the given routing state.
+    pub fn beacon(hops: u32, parent: Option<NodeId>) -> NetPayload {
+        NetPayload::Beacon {
+            hops,
+            parent: parent.map_or(NO_PARENT, |p| p.0),
+        }
+    }
+
+    /// Encode, padding application packets to `pad_to` bytes (the paper's
+    /// 500-byte packets). Beacons are never padded (routing messages are
+    /// small).
+    pub fn encode(&self, pad_to: usize) -> Bytes {
+        let mut b = BytesMut::new();
+        match *self {
+            NetPayload::Beacon { hops, parent } => {
+                b.put_u8(TAG_BEACON);
+                b.put_u32(hops);
+                b.put_u16(parent);
+            }
+            NetPayload::App { id, origin } => {
+                b.put_u8(TAG_APP);
+                b.put_u32(id);
+                b.put_u64(origin.nanos());
+                if b.len() < pad_to {
+                    b.resize(pad_to, 0);
+                }
+            }
+        }
+        b.freeze()
+    }
+
+    /// Decode a payload; `None` for malformed bytes.
+    pub fn decode(data: &[u8]) -> Option<NetPayload> {
+        match *data.first()? {
+            TAG_BEACON if data.len() >= 7 => Some(NetPayload::Beacon {
+                hops: u32::from_be_bytes([data[1], data[2], data[3], data[4]]),
+                parent: u16::from_be_bytes([data[5], data[6]]),
+            }),
+            TAG_APP if data.len() >= 13 => Some(NetPayload::App {
+                id: u32::from_be_bytes([data[1], data[2], data[3], data[4]]),
+                origin: SimTime::from_nanos(u64::from_be_bytes([
+                    data[5], data[6], data[7], data[8], data[9], data[10], data[11], data[12],
+                ])),
+            }),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beacon_roundtrip() {
+        let p = NetPayload::beacon(3, Some(NodeId(17)));
+        let enc = p.encode(500);
+        assert_eq!(enc.len(), 7, "beacons are not padded");
+        assert_eq!(NetPayload::decode(&enc), Some(p));
+    }
+
+    #[test]
+    fn unrouted_beacon() {
+        let p = NetPayload::beacon(HOPS_UNKNOWN, None);
+        let enc = p.encode(0);
+        match NetPayload::decode(&enc) {
+            Some(NetPayload::Beacon { hops, parent }) => {
+                assert_eq!(hops, HOPS_UNKNOWN);
+                assert_eq!(parent, NO_PARENT);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn app_packet_padded_to_500() {
+        let p = NetPayload::App {
+            id: 42,
+            origin: SimTime::from_millis(1500),
+        };
+        let enc = p.encode(500);
+        assert_eq!(enc.len(), 500);
+        assert_eq!(NetPayload::decode(&enc), Some(p));
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert_eq!(NetPayload::decode(&[]), None);
+        assert_eq!(NetPayload::decode(&[9, 9, 9]), None);
+        assert_eq!(NetPayload::decode(&[TAG_BEACON, 1]), None);
+        assert_eq!(NetPayload::decode(&[TAG_APP, 0, 0, 0, 1]), None);
+    }
+}

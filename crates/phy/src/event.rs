@@ -1,0 +1,67 @@
+//! PHY event and indication types.
+
+use rmac_wire::{Frame, NodeId};
+
+use crate::tone::Tone;
+
+/// Events the channel schedules for itself. The embedding simulation's
+/// event type must implement `From<PhyEvent>` and hand popped events back
+/// to [`Channel::handle`](crate::Channel::handle).
+#[derive(Clone, Debug)]
+pub enum PhyEvent {
+    /// The first bit of transmission `tx` reaches `rx`.
+    FrameArriveStart { rx: NodeId, tx: u64 },
+    /// The last bit of transmission `tx` reaches `rx` (timestamp encodes
+    /// which truncation generation this event belongs to; stale ones are
+    /// ignored).
+    FrameArriveEnd { rx: NodeId, tx: u64 },
+    /// Transmission `tx` leaves the transmitter's antenna completely.
+    TxComplete { node: NodeId, tx: u64 },
+    /// A tone emission edge (on or off) reaches `rx`.
+    ToneEdge {
+        rx: NodeId,
+        tone: Tone,
+        on: bool,
+        emit: u64,
+    },
+}
+
+/// What the channel tells the embedding engine after processing an event.
+/// Indications are routed to the named node's MAC entity.
+#[derive(Clone, Debug)]
+pub enum Indication {
+    /// The data channel at `node` transitioned idle → busy (first arriving
+    /// signal energy).
+    CarrierOn { node: NodeId },
+    /// The data channel at `node` transitioned busy → idle.
+    CarrierOff { node: NodeId },
+    /// A frame finished arriving at `node`. `ok` is false if the frame was
+    /// corrupted by collision, half-duplex conflict, bit errors, or the
+    /// node moving out of range mid-frame.
+    FrameRx { node: NodeId, frame: Frame, ok: bool },
+    /// `node`'s own transmission left the antenna (or was aborted).
+    TxDone {
+        node: NodeId,
+        frame: Frame,
+        aborted: bool,
+    },
+    /// Tone presence at `node` changed.
+    ToneChanged {
+        node: NodeId,
+        tone: Tone,
+        present: bool,
+    },
+}
+
+impl Indication {
+    /// The node this indication is addressed to.
+    pub fn node(&self) -> NodeId {
+        match *self {
+            Indication::CarrierOn { node }
+            | Indication::CarrierOff { node }
+            | Indication::FrameRx { node, .. }
+            | Indication::TxDone { node, .. }
+            | Indication::ToneChanged { node, .. } => node,
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Wireless PHY substrate: data channel, collisions and busy tones.
+//!
+//! This crate replaces GloMoSim's radio model. It simulates:
+//!
+//! * a shared **data channel**: unit-disk propagation (default range 75 m),
+//!   real per-link propagation delays, half-duplex transceivers, and
+//!   overlap-based collision corruption;
+//! * two narrow-band **busy-tone channels** (§3.1–§3.2 of the paper): the
+//!   Receiver Busy Tone (RBT) and the Acknowledgment Busy Tone (ABT). Tones
+//!   carry no bits — a node only senses *presence* — and therefore never
+//!   collide; multiple simultaneous emitters are indistinguishable, which
+//!   is exactly the "mixed-up ABT" ambiguity of the paper's §3.4;
+//! * optional per-bit error injection for high-BER experiments.
+//!
+//! # Architecture
+//!
+//! [`Channel`] is a passive state machine driven by the simulation's event
+//! loop. MAC-layer actions ([`Channel::start_tx`], [`Channel::start_tone`],
+//! …) schedule [`PhyEvent`]s into the caller's event queue; the caller feeds
+//! each popped `PhyEvent` back through [`Channel::handle`], which updates
+//! radio state and emits [`Indication`]s (frame receptions, carrier and tone
+//! edges, transmit completions) for the engine to route to the per-node MAC
+//! entities.
+//!
+//! Aborted transmissions (RMAC aborts an in-flight MRTS when it senses an
+//! RBT) are modelled by truncating the transmission record; stale
+//! frame-end events are recognised by timestamp mismatch and ignored.
+
+pub mod channel;
+pub mod event;
+pub mod tone;
+
+pub use channel::{Channel, ChannelConfig, TxId};
+pub use event::{Indication, PhyEvent};
+pub use tone::{Tone, ToneLog};

@@ -1,0 +1,219 @@
+//! Busy-tone channels and tone watches.
+
+use rmac_sim::SimTime;
+
+/// The two narrow-band tone channels RMAC introduces (§3.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Tone {
+    /// Receiver Busy Tone: raised by each receiver while it waits for /
+    /// receives the data frame; protects the reception (hidden-node
+    /// elimination à la Tobagi & Kleinrock) and doubles as the positive
+    /// answer to an MRTS.
+    Rbt = 0,
+    /// Acknowledgment Busy Tone: a short (17 µs) tone replacing the ACK
+    /// frame, replied in the receiver's MRTS-assigned slot.
+    Abt = 1,
+}
+
+impl Tone {
+    /// Index for per-tone state arrays.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self as usize
+    }
+
+    /// Both tones, for iteration.
+    pub const ALL: [Tone; 2] = [Tone::Rbt, Tone::Abt];
+}
+
+/// A recorded window of tone activity at one node.
+///
+/// A MAC opens a watch before a sensing window (e.g. RMAC's `T_wf_rbt`, or
+/// the n-slot ABT collection phase) and closes it afterwards; the log then
+/// answers "was the tone continuously present for at least λ within
+/// sub-interval [a, b]?" — the physical semantics of busy-tone detection
+/// with a λ = 15 µs Clear Channel Assessment time.
+#[derive(Clone, Debug)]
+pub struct ToneLog {
+    /// When the watch was opened.
+    pub start: SimTime,
+    /// When the watch was closed.
+    pub end: SimTime,
+    /// Whether the tone was already present at `start`.
+    pub initial_on: bool,
+    /// Presence transitions strictly inside the window: `(time, now_on)`.
+    pub edges: Vec<(SimTime, bool)>,
+}
+
+impl ToneLog {
+    /// The longest contiguous ON duration within `[a, b]` (clamped to the
+    /// watch window).
+    pub fn max_on_within(&self, a: SimTime, b: SimTime) -> SimTime {
+        let a = a.max(self.start);
+        let b = b.min(self.end);
+        if b <= a {
+            return SimTime::ZERO;
+        }
+        let mut best = SimTime::ZERO;
+        let mut on = self.initial_on;
+        // The time at which the current ON interval (if any) began, clamped
+        // to `a` later during measurement.
+        let mut on_since = self.start;
+        let measure = |from: SimTime, to: SimTime, best: &mut SimTime| {
+            let lo = from.max(a);
+            let hi = to.min(b);
+            if hi > lo {
+                *best = (*best).max(hi - lo);
+            }
+        };
+        for &(t, now_on) in &self.edges {
+            if on && !now_on {
+                measure(on_since, t, &mut best);
+            }
+            if !on && now_on {
+                on_since = t;
+            }
+            on = now_on;
+        }
+        if on {
+            measure(on_since, self.end, &mut best);
+        }
+        best
+    }
+
+    /// Whether the tone was continuously present for at least `lambda`
+    /// within `[a, b]` — i.e. whether a detector with CCA time `lambda`
+    /// checking that sub-window reports the tone.
+    pub fn detected_within(&self, a: SimTime, b: SimTime, lambda: SimTime) -> bool {
+        self.max_on_within(a, b) >= lambda
+    }
+
+    /// Longest contiguous ON duration over the whole watch.
+    pub fn max_on(&self) -> SimTime {
+        self.max_on_within(self.start, self.end)
+    }
+}
+
+/// Internal: a watch being recorded (becomes a [`ToneLog`] when closed).
+#[derive(Clone, Debug)]
+pub(crate) struct ActiveWatch {
+    pub start: SimTime,
+    pub initial_on: bool,
+    pub edges: Vec<(SimTime, bool)>,
+}
+
+impl ActiveWatch {
+    pub fn close(self, end: SimTime) -> ToneLog {
+        ToneLog {
+            start: self.start,
+            end,
+            initial_on: self.initial_on,
+            edges: self.edges,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(v: u64) -> SimTime {
+        SimTime::from_micros(v)
+    }
+
+    fn log(start: u64, end: u64, initial: bool, edges: &[(u64, bool)]) -> ToneLog {
+        ToneLog {
+            start: us(start),
+            end: us(end),
+            initial_on: initial,
+            edges: edges.iter().map(|&(t, on)| (us(t), on)).collect(),
+        }
+    }
+
+    #[test]
+    fn empty_window_is_silent() {
+        let l = log(0, 100, false, &[]);
+        assert_eq!(l.max_on(), SimTime::ZERO);
+        assert!(!l.detected_within(us(0), us(100), us(15)));
+    }
+
+    #[test]
+    fn always_on_window() {
+        let l = log(0, 100, true, &[]);
+        assert_eq!(l.max_on(), us(100));
+        assert!(l.detected_within(us(10), us(30), us(15)));
+        // Sub-window shorter than lambda cannot detect.
+        assert!(!l.detected_within(us(10), us(20), us(15)));
+    }
+
+    #[test]
+    fn single_pulse() {
+        let l = log(0, 100, false, &[(20, true), (45, false)]);
+        assert_eq!(l.max_on(), us(25));
+        assert!(l.detected_within(us(0), us(100), us(15)));
+        assert!(l.detected_within(us(20), us(45), us(25)));
+        assert!(!l.detected_within(us(0), us(30), us(15))); // only 10 µs inside
+        assert!(l.detected_within(us(25), us(45), us(20)));
+    }
+
+    #[test]
+    fn pulse_straddling_window_edges_is_clamped() {
+        let l = log(10, 50, true, &[(30, false)]);
+        // ON from 10 to 30.
+        assert_eq!(l.max_on_within(us(0), us(100)), us(20));
+        assert_eq!(l.max_on_within(us(15), us(25)), us(10));
+    }
+
+    #[test]
+    fn multiple_pulses_pick_longest() {
+        let l = log(
+            0,
+            200,
+            false,
+            &[(10, true), (20, false), (50, true), (90, false), (100, true), (110, false)],
+        );
+        assert_eq!(l.max_on(), us(40));
+        assert_eq!(l.max_on_within(us(0), us(40)), us(10));
+        assert_eq!(l.max_on_within(us(95), us(200)), us(10));
+    }
+
+    #[test]
+    fn on_at_close_counts() {
+        let l = log(0, 60, false, &[(50, true)]);
+        assert_eq!(l.max_on(), us(10));
+    }
+
+    #[test]
+    fn degenerate_interval() {
+        let l = log(0, 100, true, &[]);
+        assert_eq!(l.max_on_within(us(40), us(40)), SimTime::ZERO);
+        assert_eq!(l.max_on_within(us(60), us(40)), SimTime::ZERO);
+    }
+
+    #[test]
+    fn redundant_edges_are_tolerated() {
+        // Two emitters: presence edges may repeat the same state when the
+        // underlying counter goes 1 -> 2 (no edge) but defensive repeats of
+        // `true` must not break the accounting.
+        let l = log(0, 100, false, &[(10, true), (40, true), (70, false)]);
+        assert_eq!(l.max_on(), us(60));
+    }
+
+    #[test]
+    fn abt_slot_arithmetic_matches_paper() {
+        // A receiver with slot index i=1 raises the ABT for 17 µs starting
+        // at data_end + 17 µs (plus ≤ 1 µs propagation). The sender checks
+        // the window [17, 34] µs after its own data end and must detect
+        // ≥ 15 µs (λ) of tone.
+        let prop = 1u64; // worst-case 1 µs round trip components
+        let l = log(
+            0,
+            3 * 17,
+            false,
+            &[(17 + prop, true), (34 + prop, false)],
+        );
+        assert!(l.detected_within(us(17), us(34), us(15)));
+        assert!(!l.detected_within(us(0), us(17), us(15)));
+        assert!(!l.detected_within(us(34), us(51), us(15)));
+    }
+}

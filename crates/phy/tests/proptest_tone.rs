@@ -1,0 +1,84 @@
+//! Property tests for tone-watch interval logic.
+
+use proptest::prelude::*;
+use rmac_phy::ToneLog;
+use rmac_sim::SimTime;
+
+/// Build a well-formed log from sorted pulse intervals within [0, horizon].
+fn log_from_pulses(pulses: &[(u64, u64)], horizon: u64) -> ToneLog {
+    let mut edges = Vec::new();
+    for &(a, b) in pulses {
+        edges.push((SimTime::from_nanos(a), true));
+        edges.push((SimTime::from_nanos(b), false));
+    }
+    ToneLog {
+        start: SimTime::ZERO,
+        end: SimTime::from_nanos(horizon),
+        initial_on: false,
+        edges,
+    }
+}
+
+/// Sorted, disjoint pulses strictly inside the horizon.
+fn pulses_strategy() -> impl Strategy<Value = (Vec<(u64, u64)>, u64)> {
+    proptest::collection::vec((0u64..100_000, 1u64..5_000), 0..10).prop_map(|raw| {
+        let mut pulses = Vec::new();
+        let mut cursor = 0u64;
+        for (gap, len) in raw {
+            let a = cursor + gap % 10_000 + 1;
+            let b = a + len;
+            pulses.push((a, b));
+            cursor = b + 1;
+        }
+        let horizon = cursor + 1_000;
+        (pulses, horizon)
+    })
+}
+
+proptest! {
+    /// max_on over a sub-window never exceeds the window length nor the
+    /// global max, and the global max equals the longest pulse.
+    #[test]
+    fn max_on_bounds((pulses, horizon) in pulses_strategy(),
+                     wa in 0u64..50_000, wlen in 0u64..50_000) {
+        let log = log_from_pulses(&pulses, horizon);
+        let longest = pulses.iter().map(|&(a, b)| b - a).max().unwrap_or(0);
+        prop_assert_eq!(log.max_on().nanos(), longest);
+
+        let a = SimTime::from_nanos(wa);
+        let b = SimTime::from_nanos(wa + wlen);
+        let w = log.max_on_within(a, b);
+        prop_assert!(w.nanos() <= wlen);
+        prop_assert!(w <= log.max_on());
+    }
+
+    /// Detection is monotone in lambda: a shorter requirement can only
+    /// detect more.
+    #[test]
+    fn detection_monotone((pulses, horizon) in pulses_strategy(),
+                          lambda_small in 1u64..10_000, extra in 1u64..10_000) {
+        let log = log_from_pulses(&pulses, horizon);
+        let a = SimTime::ZERO;
+        let b = SimTime::from_nanos(horizon);
+        let small = SimTime::from_nanos(lambda_small);
+        let large = SimTime::from_nanos(lambda_small + extra);
+        if log.detected_within(a, b, large) {
+            prop_assert!(log.detected_within(a, b, small));
+        }
+    }
+
+    /// Splitting the window can never find a longer ON run than the whole.
+    #[test]
+    fn window_split_consistency((pulses, horizon) in pulses_strategy(), cut in 1u64..100_000) {
+        let log = log_from_pulses(&pulses, horizon);
+        let m = SimTime::from_nanos(cut.min(horizon));
+        let whole = log.max_on_within(SimTime::ZERO, SimTime::from_nanos(horizon));
+        let left = log.max_on_within(SimTime::ZERO, m);
+        let right = log.max_on_within(m, SimTime::from_nanos(horizon));
+        prop_assert!(left <= whole);
+        prop_assert!(right <= whole);
+        // A pulse can straddle the cut, so left+right may undercount the
+        // whole but never overcount it by more than double-counting zero.
+        prop_assert!(left + right <= whole + whole);
+    }
+}

@@ -1,0 +1,26 @@
+//! Deterministic discrete-event simulation kernel.
+//!
+//! This crate is the substrate replacing GloMoSim's simulation core in the
+//! RMAC reproduction. It provides:
+//!
+//! * [`SimTime`] — a nanosecond-resolution virtual clock,
+//! * [`EventQueue`] — a time-ordered event heap with deterministic FIFO
+//!   tie-breaking for simultaneous events,
+//! * [`timer`] — generation tokens for cheap timer cancellation,
+//! * [`rng`] — seedable, splittable random number generation so that every
+//!   replication is reproducible from a single `u64` seed.
+//!
+//! The kernel is intentionally single-threaded: wireless MAC simulations are
+//! dominated by fine-grained causally-ordered events, so parallelism is
+//! applied *across* independent replications (see `rmac-experiments`), never
+//! within one.
+
+pub mod queue;
+pub mod rng;
+pub mod time;
+pub mod timer;
+
+pub use queue::EventQueue;
+pub use rng::SimRng;
+pub use time::SimTime;
+pub use timer::TimerSlot;

@@ -1,0 +1,177 @@
+//! Node identifiers and MAC addresses.
+//!
+//! The simulator identifies nodes by a dense small integer ([`NodeId`]),
+//! which indexes directly into per-node state arrays. On the wire a node is
+//! identified by a 6-byte IEEE-style MAC address ([`MacAddr`]); the mapping
+//! between the two is fixed and invertible so the codec can round-trip
+//! frames exactly as the paper's Fig. 3 lays them out.
+
+use std::fmt;
+
+/// Dense node identifier (index into the simulation's node table).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// The index as `usize` for array access.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The corresponding 6-byte MAC address.
+    pub fn mac(self) -> MacAddr {
+        // Locally administered unicast OUI 0x02:52:4D ("RM"), node id in the
+        // low two bytes.
+        MacAddr([0x02, 0x52, 0x4D, 0x00, (self.0 >> 8) as u8, self.0 as u8])
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u16> for NodeId {
+    fn from(v: u16) -> Self {
+        NodeId(v)
+    }
+}
+
+/// A 6-byte IEEE-style MAC address as carried inside frames.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xFF; 6]);
+
+    /// Recover the simulator [`NodeId`] from an address minted by
+    /// [`NodeId::mac`]. Returns `None` for the broadcast address or foreign
+    /// OUIs.
+    pub fn node_id(self) -> Option<NodeId> {
+        let b = self.0;
+        if b[0] == 0x02 && b[1] == 0x52 && b[2] == 0x4D && b[3] == 0x00 {
+            Some(NodeId(((b[4] as u16) << 8) | b[5] as u16))
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Debug for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5]
+        )
+    }
+}
+
+/// The addressed receiver(s) of a frame.
+///
+/// RMAC's Reliable Send covers unicast, multicast and broadcast with the
+/// same mechanism — the MRTS receiver list — but the *unreliable* service
+/// and the 802.11-family baselines use a conventional destination address,
+/// so both notions coexist here.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Dest {
+    /// A single node.
+    Node(NodeId),
+    /// An explicit multicast group (the MRTS ordered receiver list refers to
+    /// the same set).
+    Group(Vec<NodeId>),
+    /// All one-hop neighbors.
+    Broadcast,
+}
+
+impl Dest {
+    /// Whether a frame with this destination should be accepted by `node`
+    /// (§3.3.3 step 3: unicast match, group membership, or broadcast).
+    pub fn accepts(&self, node: NodeId) -> bool {
+        match self {
+            Dest::Node(n) => *n == node,
+            Dest::Group(g) => g.contains(&node),
+            Dest::Broadcast => true,
+        }
+    }
+
+    /// Number of explicitly intended receivers (`None` for broadcast, which
+    /// addresses whoever is in range).
+    pub fn intended_count(&self) -> Option<usize> {
+        match self {
+            Dest::Node(_) => Some(1),
+            Dest::Group(g) => Some(g.len()),
+            Dest::Broadcast => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_roundtrip() {
+        for id in [0u16, 1, 74, 255, 256, 65535] {
+            let n = NodeId(id);
+            assert_eq!(n.mac().node_id(), Some(n));
+        }
+    }
+
+    #[test]
+    fn broadcast_is_not_a_node() {
+        assert_eq!(MacAddr::BROADCAST.node_id(), None);
+    }
+
+    #[test]
+    fn macs_are_distinct() {
+        let a = NodeId(3).mac();
+        let b = NodeId(4).mac();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn dest_accepts_unicast() {
+        let d = Dest::Node(NodeId(5));
+        assert!(d.accepts(NodeId(5)));
+        assert!(!d.accepts(NodeId(6)));
+        assert_eq!(d.intended_count(), Some(1));
+    }
+
+    #[test]
+    fn dest_accepts_group_members_only() {
+        let d = Dest::Group(vec![NodeId(1), NodeId(2)]);
+        assert!(d.accepts(NodeId(1)));
+        assert!(d.accepts(NodeId(2)));
+        assert!(!d.accepts(NodeId(3)));
+        assert_eq!(d.intended_count(), Some(2));
+    }
+
+    #[test]
+    fn dest_broadcast_accepts_everyone() {
+        let d = Dest::Broadcast;
+        assert!(d.accepts(NodeId(0)));
+        assert!(d.accepts(NodeId(999)));
+        assert_eq!(d.intended_count(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(format!("{:?}", NodeId(7)), "n7");
+        assert_eq!(NodeId(7).to_string(), "7");
+        assert_eq!(
+            format!("{:?}", NodeId(258).mac()),
+            "02:52:4d:00:01:02"
+        );
+    }
+}

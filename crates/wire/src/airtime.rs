@@ -1,0 +1,140 @@
+//! Air-time arithmetic.
+//!
+//! Reproduces the transmission-delay accounting of the paper's §2: every
+//! frame pays a 96 µs physical-layer overhead (72-bit preamble at 1 Mb/s +
+//! 48-bit header at 2 Mb/s) plus 4 µs per byte at the 2 Mb/s data rate.
+//! These closed forms also drive the §2 comparison table (`table_overhead`
+//! experiment) quantifying why BMMM's 2n control-frame pairs are expensive
+//! and MRTS+ABT is cheap.
+
+use rmac_sim::SimTime;
+
+use crate::consts::{
+    ADDR_LEN, BYTE_TIME, DATA_HEADER_LEN, L_ABT, MRTS_FIXED_LEN, PHY_OVERHEAD, RTS_LEN,
+    SHORT_CTRL_LEN, SIFS,
+};
+
+/// Air time of a frame of `len` bytes: PHY overhead + serialization delay.
+///
+/// ```
+/// use rmac_wire::airtime::frame_airtime;
+/// use rmac_sim::SimTime;
+///
+/// // A 14-byte ACK: 96 µs PHY overhead + 56 µs body (paper §2).
+/// assert_eq!(frame_airtime(14), SimTime::from_micros(152));
+/// ```
+#[inline]
+pub fn frame_airtime(len: usize) -> SimTime {
+    PHY_OVERHEAD + BYTE_TIME.mul(len as u64)
+}
+
+/// Length in bytes of an MRTS addressing `n` receivers (Fig. 3).
+#[inline]
+pub fn mrts_len(n: usize) -> usize {
+    MRTS_FIXED_LEN + ADDR_LEN * n
+}
+
+/// Air time of an MRTS addressing `n` receivers.
+#[inline]
+pub fn mrts_airtime(n: usize) -> SimTime {
+    frame_airtime(mrts_len(n))
+}
+
+/// Air time of a data frame carrying `payload` bytes of application data.
+#[inline]
+pub fn data_airtime(payload: usize) -> SimTime {
+    frame_airtime(DATA_HEADER_LEN + payload)
+}
+
+/// Total control cost of one RMAC Reliable Send round to `n` receivers:
+/// the MRTS plus the sender's `n` ABT checking windows.
+pub fn rmac_control_cost(n: usize) -> SimTime {
+    mrts_airtime(n) + L_ABT.mul(n as u64)
+}
+
+/// Total control-frame cost of one BMMM round to `n` receivers: n RTS,
+/// n CTS, n RAK, n ACK (2n pairs), each with PHY overhead — the paper's
+/// "632n µs" figure (§2), excluding inter-frame spaces.
+///
+/// ```
+/// use rmac_wire::airtime::bmmm_control_cost;
+/// use rmac_sim::SimTime;
+///
+/// assert_eq!(bmmm_control_cost(3), SimTime::from_micros(632 * 3));
+/// ```
+pub fn bmmm_control_cost(n: usize) -> SimTime {
+    let rts = frame_airtime(RTS_LEN);
+    let short = frame_airtime(SHORT_CTRL_LEN);
+    (rts + short.mul(3)).mul(n as u64)
+}
+
+/// BMMM control cost including the SIFS gaps separating the 4n control
+/// frames from their predecessors.
+pub fn bmmm_control_cost_with_sifs(n: usize) -> SimTime {
+    bmmm_control_cost(n) + SIFS.mul(4 * n as u64)
+}
+
+/// The §3.4 receiver-limit derivation: how many 17 µs ABT slots fit inside
+/// the shortest MRTS + shortest data frame transmission (352 µs in the
+/// paper's arithmetic).
+pub fn max_receivers_by_abt_window() -> usize {
+    352 / 17
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_quotes_ack_56us() {
+        // 14 bytes at 2 Mb/s = 56 µs of serialization
+        assert_eq!(BYTE_TIME.mul(SHORT_CTRL_LEN as u64), SimTime::from_micros(56));
+    }
+
+    #[test]
+    fn paper_quotes_632n_us_for_bmmm() {
+        // RTS: 96 + 80 = 176 µs; CTS/RAK/ACK: 96 + 56 = 152 µs each.
+        // Per receiver: 176 + 3·152 = 632 µs.
+        assert_eq!(bmmm_control_cost(1), SimTime::from_micros(632));
+        assert_eq!(bmmm_control_cost(5), SimTime::from_micros(632 * 5));
+        assert_eq!(bmmm_control_cost(20), SimTime::from_micros(632 * 20));
+    }
+
+    #[test]
+    fn rmac_control_is_far_cheaper_than_bmmm() {
+        // For any receiver count in range, RMAC's single MRTS + n ABT slots
+        // beat BMMM's 2n control pairs by a wide margin.
+        for n in 1..=20 {
+            let rmac = rmac_control_cost(n);
+            let bmmm = bmmm_control_cost(n);
+            assert!(
+                rmac.nanos() * 3 < bmmm.nanos(),
+                "n={n}: rmac={rmac} bmmm={bmmm}"
+            );
+        }
+    }
+
+    #[test]
+    fn per_receiver_mrts_cost_is_6_bytes() {
+        let d = mrts_airtime(5) - mrts_airtime(4);
+        assert_eq!(d, BYTE_TIME.mul(6)); // 24 µs
+    }
+
+    #[test]
+    fn data_airtime_500b() {
+        // 528 bytes · 4 µs + 96 µs = 2208 µs
+        assert_eq!(data_airtime(500), SimTime::from_micros(2208));
+    }
+
+    #[test]
+    fn receiver_limit_is_20() {
+        assert_eq!(max_receivers_by_abt_window(), 20);
+    }
+
+    #[test]
+    fn sifs_adds_40n() {
+        let with = bmmm_control_cost_with_sifs(3);
+        let without = bmmm_control_cost(3);
+        assert_eq!(with - without, SimTime::from_micros(120));
+    }
+}

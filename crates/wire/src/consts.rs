@@ -1,0 +1,139 @@
+//! Physical and MAC layer constants.
+//!
+//! Everything here is fixed by the paper (§2, §3.3, §3.4) or by the IEEE
+//! 802.11b parameters it defers to. Values that the paper leaves open
+//! ("there is a limit for the number of retransmissions") take the 802.11
+//! defaults and are overridable through `rmac_core::config::MacConfig`.
+
+use rmac_sim::SimTime;
+
+// ---------------------------------------------------------------------------
+// Channel timing (802.11b, paper §2 and §3.3.2)
+// ---------------------------------------------------------------------------
+
+/// Data channel bit rate: 2 Mb/s (paper §4.1.1).
+pub const DATA_RATE_BPS: u64 = 2_000_000;
+
+/// Transmission time of one byte at [`DATA_RATE_BPS`]: 4 µs.
+pub const BYTE_TIME: SimTime = SimTime::from_micros(4);
+
+/// PHY preamble: 72 bits at 1 Mb/s = 72 µs (paper §2).
+pub const PHY_PREAMBLE: SimTime = SimTime::from_micros(72);
+
+/// PHY header: 48 bits at 2 Mb/s = 24 µs (paper §2).
+pub const PHY_HEADER: SimTime = SimTime::from_micros(24);
+
+/// Total per-frame physical layer overhead: 96 µs (paper §2).
+pub const PHY_OVERHEAD: SimTime = SimTime::from_micros(96);
+
+/// Backoff slot time: 20 µs, covering CCA and PHY turnaround (§3.3.1).
+pub const SLOT: SimTime = SimTime::from_micros(20);
+
+/// Maximum one-way propagation delay τ = 1 µs (radio range < 300 m, §3.3.2).
+pub const TAU: SimTime = SimTime::from_micros(1);
+
+/// Busy-tone detection duration λ = 15 µs (CCA time of 802.11b, §3.3.2).
+pub const LAMBDA: SimTime = SimTime::from_micros(15);
+
+/// Duration of one ABT: l_abt = 2τ + λ = 17 µs (§3.3.2).
+pub const L_ABT: SimTime = SimTime::from_micros(17);
+
+/// Sender/receiver wait windows: |T_wf_rbt| = |T_wf_rdata| = |T_wf_abt|
+/// = 2τ + λ = 17 µs (§3.3.2).
+pub const T_WF: SimTime = SimTime::from_micros(17);
+
+/// The receiver's data-wait window, 2τ + λ plus a 2 µs rx/tx turnaround
+/// margin. In the paper both the sender's `T_wf_rbt` and the receiver's
+/// `T_wf_rdata` are 2τ + λ, which makes the data frame's first bit arrive
+/// at *exactly* the expiry instant when propagation delays are equal on
+/// both paths; physical turnaround slack breaks that tie in reality, and
+/// this margin models it (otherwise the simulation's deterministic event
+/// order would expire every session just as its data arrives).
+pub const T_WF_RDATA: SimTime = SimTime::from_micros(19);
+
+/// Short inter-frame space (802.11b): 10 µs. Used by the 802.11-family
+/// baselines between frames of one exchange.
+pub const SIFS: SimTime = SimTime::from_micros(10);
+
+/// Distributed inter-frame space (802.11b): 50 µs.
+pub const DIFS: SimTime = SimTime::from_micros(50);
+
+/// Speed of light, for propagation delays (m/s).
+pub const SPEED_OF_LIGHT: f64 = 299_792_458.0;
+
+// ---------------------------------------------------------------------------
+// Contention (802.11b defaults, §3.3.1)
+// ---------------------------------------------------------------------------
+
+/// Minimum contention window (slots).
+pub const CW_MIN: u64 = 31;
+
+/// Maximum contention window (slots).
+pub const CW_MAX: u64 = 1023;
+
+/// Default retransmission limit before a frame is dropped. The paper only
+/// states that a limit exists; 7 is the 802.11 short-retry default.
+pub const RETRY_LIMIT: u32 = 7;
+
+/// Maximum number of receivers per Reliable Send invocation (§3.4): the
+/// detection of an ABT takes 17 µs and the shortest MRTS + shortest data
+/// frame take 352 µs, so at most 352/17 = 20 receivers fit before a nearby
+/// Reliable Send could complete and leak a foreign ABT into the window.
+pub const MAX_MRTS_RECEIVERS: usize = 20;
+
+// ---------------------------------------------------------------------------
+// Frame sizes (bytes; paper §2 and Fig. 3)
+// ---------------------------------------------------------------------------
+
+/// RTS frame: 20 bytes (802.11).
+pub const RTS_LEN: usize = 20;
+
+/// CTS / ACK / RAK / NCTS / NAK frames: 14 bytes (802.11-style).
+pub const SHORT_CTRL_LEN: usize = 14;
+
+/// Fixed part of the MRTS frame: type (1) + transmitter (6) + receiver
+/// count (1) + FCS (4) = 12 bytes (Fig. 3).
+pub const MRTS_FIXED_LEN: usize = 12;
+
+/// Each receiver address in the MRTS costs 6 bytes (Fig. 3).
+pub const ADDR_LEN: usize = 6;
+
+/// MAC header + FCS carried by every data frame: a 802.11-style 24-byte
+/// header plus 4-byte FCS.
+pub const DATA_HEADER_LEN: usize = 28;
+
+/// Application payload used throughout the paper's evaluation: 500 bytes.
+pub const PAPER_PAYLOAD: usize = 500;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phy_overhead_is_96_us() {
+        assert_eq!(PHY_PREAMBLE + PHY_HEADER, PHY_OVERHEAD);
+        assert_eq!(PHY_OVERHEAD, SimTime::from_micros(96));
+    }
+
+    #[test]
+    fn byte_time_matches_rate() {
+        // 8 bits at 2 Mb/s = 4 µs
+        let per_byte_ns = 8 * 1_000_000_000 / DATA_RATE_BPS;
+        assert_eq!(BYTE_TIME.nanos(), per_byte_ns);
+    }
+
+    #[test]
+    fn abt_and_wait_windows() {
+        assert_eq!(L_ABT, TAU.mul(2) + LAMBDA);
+        assert_eq!(T_WF, TAU.mul(2) + LAMBDA);
+    }
+
+    #[test]
+    fn receiver_limit_derivation() {
+        // §3.4: shortest MRTS (n=1: 18 bytes) + shortest data frame
+        // (empty payload: 28 bytes) = 46 bytes = 184 µs on air plus two
+        // 96 µs PHY overheads → 376 µs ≥ the paper's quoted 352 µs; the
+        // paper's figure divides 352/17 = 20.7 → 20.
+        assert_eq!(352 / 17, MAX_MRTS_RECEIVERS);
+    }
+}

@@ -1,0 +1,23 @@
+//! Frame formats, addressing and air-time arithmetic.
+//!
+//! This crate is the shared vocabulary between the PHY substrate, the MAC
+//! protocols and the network layer:
+//!
+//! * [`addr`] — node identifiers and their 6-byte IEEE-style MAC addresses,
+//! * [`consts`] — every physical/MAC constant the paper fixes (§2, §3.3),
+//! * [`frame`] — the in-simulator frame representation (MRTS, RTS/CTS,
+//!   RAK/ACK, NCTS/NAK, data frames) and their lengths,
+//! * [`crc`] — a from-scratch CRC-32 (IEEE 802.3) used as the FCS,
+//! * [`codec`] — binary encode/decode of frames per the paper's Fig. 3,
+//! * [`airtime`] — transmission-delay arithmetic reproducing the paper's §2
+//!   numbers (96 µs PHY overhead, 56 µs ACK, ≈ 632·n µs BMMM control cost).
+
+pub mod addr;
+pub mod airtime;
+pub mod codec;
+pub mod consts;
+pub mod crc;
+pub mod frame;
+
+pub use addr::{Dest, NodeId};
+pub use frame::{Frame, FrameKind};
