@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Local CI gate — the same three checks .github/workflows/ci.yml runs.
+# All dependencies are vendored (vendor/*), so this works fully offline.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "CI green."

@@ -399,14 +399,16 @@ impl Bmmm {
             // Overhearers still record broadcast/overheard data below.
         }
         match frame.kind {
-            FrameKind::Rts if addressed
+            FrameKind::Rts
+                if addressed
                 // Respond CTS only from quiescence and with a clear NAV
                 // (802.11 §9.2.5.2 behavior).
-                && self.phase == Phase::Idle && ctx.now() >= self.dcf.nav_until() => {
-                    let nav = frame.nav.saturating_sub(SIFS + short_air());
-                    let cts = Frame::control(FrameKind::Cts, self.id, frame.src, nav);
-                    self.respond(ctx, cts);
-                }
+                && self.phase == Phase::Idle && ctx.now() >= self.dcf.nav_until() =>
+            {
+                let nav = frame.nav.saturating_sub(SIFS + short_air());
+                let cts = Frame::control(FrameKind::Cts, self.id, frame.src, nav);
+                self.respond(ctx, cts);
+            }
             FrameKind::Cts if addressed => {
                 if let Phase::WaitCts(i) = self.phase {
                     let expected = match self.job.as_ref() {
@@ -420,12 +422,15 @@ impl Bmmm {
                     }
                 }
             }
-            FrameKind::Rak if addressed
-                && self.phase == Phase::Idle && self.recent_data.contains_key(&frame.src) => {
-                    let nav = frame.nav.saturating_sub(SIFS + short_air());
-                    let ack = Frame::control(FrameKind::Ack, self.id, frame.src, nav);
-                    self.respond(ctx, ack);
-                }
+            FrameKind::Rak
+                if addressed
+                    && self.phase == Phase::Idle
+                    && self.recent_data.contains_key(&frame.src) =>
+            {
+                let nav = frame.nav.saturating_sub(SIFS + short_air());
+                let ack = Frame::control(FrameKind::Ack, self.id, frame.src, nav);
+                self.respond(ctx, ack);
+            }
             FrameKind::Ack if addressed => {
                 if let Phase::WaitAck(i) = self.phase {
                     let expected = match self.job.as_ref() {
@@ -529,10 +534,9 @@ impl MacService for Bmmm {
                     let _ = self.dcf.on_slot(ctx, gen, false);
                 }
             }
-            TimerKind::Nav
-                if self.dcf.on_nav_timer(gen) => {
-                    self.try_progress(ctx);
-                }
+            TimerKind::Nav if self.dcf.on_nav_timer(gen) => {
+                self.try_progress(ctx);
+            }
             TimerKind::AwaitResponse => {
                 if !self.t_resp.disarm_if(gen) {
                     return;
@@ -543,23 +547,23 @@ impl MacService for Bmmm {
                     _ => {}
                 }
             }
-            TimerKind::Ifs
-                if self.t_gap.disarm_if(gen) => {
-                    if let Phase::Gap(next) = self.phase {
-                        match next {
-                            Next::Rts(i) => self.tx_rts(ctx, i),
-                            Next::Data => self.tx_data(ctx),
-                            Next::Rak(i) => self.tx_rak(ctx, i),
-                        }
+            TimerKind::Ifs if self.t_gap.disarm_if(gen) => {
+                if let Phase::Gap(next) = self.phase {
+                    match next {
+                        Next::Rts(i) => self.tx_rts(ctx, i),
+                        Next::Data => self.tx_data(ctx),
+                        Next::Rak(i) => self.tx_rak(ctx, i),
                     }
                 }
+            }
             TimerKind::RespIfs
-                if self.t_resp_gap.disarm_if(gen) && self.phase == Phase::RespGap => {
-                    let frame = self.resp.take().expect("RespGap without response");
-                    ctx.counters().ctrl_airtime += frame.airtime();
-                    self.phase = Phase::TxResp;
-                    ctx.start_tx(frame);
-                }
+                if self.t_resp_gap.disarm_if(gen) && self.phase == Phase::RespGap =>
+            {
+                let frame = self.resp.take().expect("RespGap without response");
+                ctx.counters().ctrl_airtime += frame.airtime();
+                self.phase = Phase::TxResp;
+                ctx.start_tx(frame);
+            }
             _ => {}
         }
     }

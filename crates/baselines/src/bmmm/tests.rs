@@ -108,7 +108,12 @@ fn missing_ack_retries_only_silent_receiver() {
     for &r in &[n(1), n(2)] {
         let f = m.last_tx().clone();
         m.finish_tx(&mut b, false);
-        m.rx_frame(&mut b, n(0), Frame::control(FrameKind::Cts, r, f.src, SimTime::ZERO), true);
+        m.rx_frame(
+            &mut b,
+            n(0),
+            Frame::control(FrameKind::Cts, r, f.src, SimTime::ZERO),
+            true,
+        );
         m.fire(&mut b, TimerKind::Ifs);
     }
     // DATA.

@@ -186,9 +186,12 @@ impl Bmw {
             Job::Reliable(job) => {
                 let target = job.receivers[job.idx];
                 // NAV covers CTS + DATA + ACK (worst case).
-                let nav = SIFS + short_air()
-                    + SIFS + data_airtime(job.payload.len())
-                    + SIFS + short_air();
+                let nav = SIFS
+                    + short_air()
+                    + SIFS
+                    + data_airtime(job.payload.len())
+                    + SIFS
+                    + short_air();
                 let frame = Frame::control(FrameKind::Rts, self.id, target, nav);
                 ctx.counters().ctrl_airtime += frame.airtime();
                 self.phase = Phase::TxRts;
@@ -440,29 +443,28 @@ impl MacService for Bmw {
                     _ => {}
                 }
             }
-            TimerKind::Ifs
-                if self.t_gap.disarm_if(gen)
-                    && self.phase == Phase::GapData => {
-                        let Some(Job::Reliable(job)) = self.job.as_ref() else {
-                            return;
-                        };
-                        let frame = Frame::data_reliable(
-                            self.id,
-                            Dest::Group(job.receivers.clone()),
-                            job.payload.clone(),
-                            job.seq,
-                        );
-                        ctx.counters().reliable_data_airtime += frame.airtime();
-                        self.phase = Phase::TxData;
-                        ctx.start_tx(frame);
-                    }
+            TimerKind::Ifs if self.t_gap.disarm_if(gen) && self.phase == Phase::GapData => {
+                let Some(Job::Reliable(job)) = self.job.as_ref() else {
+                    return;
+                };
+                let frame = Frame::data_reliable(
+                    self.id,
+                    Dest::Group(job.receivers.clone()),
+                    job.payload.clone(),
+                    job.seq,
+                );
+                ctx.counters().reliable_data_airtime += frame.airtime();
+                self.phase = Phase::TxData;
+                ctx.start_tx(frame);
+            }
             TimerKind::RespIfs
-                if self.t_resp_gap.disarm_if(gen) && self.phase == Phase::RespGap => {
-                    let frame = self.resp.take().expect("RespGap without response");
-                    ctx.counters().ctrl_airtime += frame.airtime();
-                    self.phase = Phase::TxResp;
-                    ctx.start_tx(frame);
-                }
+                if self.t_resp_gap.disarm_if(gen) && self.phase == Phase::RespGap =>
+            {
+                let frame = self.resp.take().expect("RespGap without response");
+                ctx.counters().ctrl_airtime += frame.airtime();
+                self.phase = Phase::TxResp;
+                ctx.start_tx(frame);
+            }
             _ => {}
         }
     }

@@ -173,9 +173,12 @@ impl Lbp {
     fn begin(&mut self, ctx: &mut dyn MacContext) {
         match self.job.as_ref().expect("begin without job") {
             Job::Reliable(job) => {
-                let nav = SIFS + short_air()
-                    + SIFS + data_airtime(job.payload.len())
-                    + SIFS + short_air();
+                let nav = SIFS
+                    + short_air()
+                    + SIFS
+                    + data_airtime(job.payload.len())
+                    + SIFS
+                    + short_air();
                 // RTS addressed to the leader; `order` carries the group
                 // (the stand-in for LBP's multicast group address).
                 let mut rts = Frame::control(FrameKind::Rts, self.id, job.receivers[0], nav);
@@ -305,13 +308,12 @@ impl Lbp {
                     self.respond(ctx, cts);
                 }
             }
-            FrameKind::Cts if addressed
-                && self.phase == Phase::WaitCts => {
-                    self.t_resp.cancel();
-                    self.phase = Phase::GapData;
-                    let gen = self.t_gap.arm();
-                    ctx.schedule(SIFS, TimerKind::Ifs, gen);
-                }
+            FrameKind::Cts if addressed && self.phase == Phase::WaitCts => {
+                self.t_resp.cancel();
+                self.phase = Phase::GapData;
+                let gen = self.t_gap.arm();
+                ctx.schedule(SIFS, TimerKind::Ifs, gen);
+            }
             FrameKind::DataReliable if addressed => {
                 if self.last_seq.get(&frame.src) != Some(&frame.seq) {
                     self.last_seq.insert(frame.src, frame.seq);
@@ -330,16 +332,14 @@ impl Lbp {
                     }
                 }
             }
-            FrameKind::Ack if addressed
-                && self.phase == Phase::WaitAck => {
-                    self.t_resp.cancel();
-                    self.finish_success(ctx);
-                }
-            FrameKind::Nak if addressed
-                && self.phase == Phase::WaitAck => {
-                    self.t_resp.cancel();
-                    self.attempt_failed(ctx);
-                }
+            FrameKind::Ack if addressed && self.phase == Phase::WaitAck => {
+                self.t_resp.cancel();
+                self.finish_success(ctx);
+            }
+            FrameKind::Nak if addressed && self.phase == Phase::WaitAck => {
+                self.t_resp.cancel();
+                self.attempt_failed(ctx);
+            }
             FrameKind::DataUnreliable if addressed => {
                 ctx.deliver(frame.clone());
                 ctx.counters().delivered_up += 1;
@@ -428,30 +428,29 @@ impl MacService for Lbp {
                     _ => {}
                 }
             }
-            TimerKind::Ifs
-                if self.t_gap.disarm_if(gen)
-                    && self.phase == Phase::GapData => {
-                        let Some(Job::Reliable(job)) = self.job.as_ref() else {
-                            return;
-                        };
-                        let mut frame = Frame::data_reliable(
-                            self.id,
-                            Dest::Group(job.receivers.clone()),
-                            job.payload.clone(),
-                            job.seq,
-                        );
-                        frame.nav = SIFS + short_air();
-                        ctx.counters().reliable_data_airtime += frame.airtime();
-                        self.phase = Phase::TxData;
-                        ctx.start_tx(frame);
-                    }
+            TimerKind::Ifs if self.t_gap.disarm_if(gen) && self.phase == Phase::GapData => {
+                let Some(Job::Reliable(job)) = self.job.as_ref() else {
+                    return;
+                };
+                let mut frame = Frame::data_reliable(
+                    self.id,
+                    Dest::Group(job.receivers.clone()),
+                    job.payload.clone(),
+                    job.seq,
+                );
+                frame.nav = SIFS + short_air();
+                ctx.counters().reliable_data_airtime += frame.airtime();
+                self.phase = Phase::TxData;
+                ctx.start_tx(frame);
+            }
             TimerKind::RespIfs
-                if self.t_resp_gap.disarm_if(gen) && self.phase == Phase::RespGap => {
-                    let frame = self.resp.take().expect("RespGap without response");
-                    ctx.counters().ctrl_airtime += frame.airtime();
-                    self.phase = Phase::TxResp;
-                    ctx.start_tx(frame);
-                }
+                if self.t_resp_gap.disarm_if(gen) && self.phase == Phase::RespGap =>
+            {
+                let frame = self.resp.take().expect("RespGap without response");
+                ctx.counters().ctrl_airtime += frame.airtime();
+                self.phase = Phase::TxResp;
+                ctx.start_tx(frame);
+            }
             _ => {}
         }
     }

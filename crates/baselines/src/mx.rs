@@ -195,8 +195,7 @@ impl Mx {
     fn begin(&mut self, ctx: &mut dyn MacContext) {
         match self.job.as_ref().expect("begin without job") {
             Job::Reliable(job) => {
-                let nav =
-                    SIFS + short_air() + SIFS + data_airtime(job.payload.len()) + nak_len();
+                let nav = SIFS + short_air() + SIFS + data_airtime(job.payload.len()) + nak_len();
                 let mut rts = Frame::control(FrameKind::Rts, self.id, job.receivers[0], nav);
                 rts.order = job.receivers.clone();
                 ctx.counters().ctrl_airtime += rts.airtime();
@@ -268,37 +267,35 @@ impl Mx {
             self.dcf.observe_nav(ctx.now(), frame.nav);
         }
         match frame.kind {
-            FrameKind::Rts if frame.order.contains(&self.id)
-                && self.phase == Phase::Idle => {
-                    let leader = frame.order.first() == Some(&self.id);
-                    self.rx = Some(RxSession { sender: frame.src });
-                    let gen = self.t_session.arm();
-                    ctx.schedule(
-                        SIFS + short_air() + SIFS + data_airtime(1500) + SimTime::from_micros(50),
-                        TimerKind::Nav,
-                        gen,
+            FrameKind::Rts if frame.order.contains(&self.id) && self.phase == Phase::Idle => {
+                let leader = frame.order.first() == Some(&self.id);
+                self.rx = Some(RxSession { sender: frame.src });
+                let gen = self.t_session.arm();
+                ctx.schedule(
+                    SIFS + short_air() + SIFS + data_airtime(1500) + SimTime::from_micros(50),
+                    TimerKind::Nav,
+                    gen,
+                );
+                if leader && ctx.now() >= self.dcf.nav_until() {
+                    let cts = Frame::control(
+                        FrameKind::Cts,
+                        self.id,
+                        frame.src,
+                        frame.nav.saturating_sub(SIFS + short_air()),
                     );
-                    if leader && ctx.now() >= self.dcf.nav_until() {
-                        let cts = Frame::control(
-                            FrameKind::Cts,
-                            self.id,
-                            frame.src,
-                            frame.nav.saturating_sub(SIFS + short_air()),
-                        );
-                        self.dcf.suspend();
-                        self.resp = Some(cts);
-                        self.phase = Phase::RespGap;
-                        let g = self.t_resp_gap.arm();
-                        ctx.schedule(SIFS, TimerKind::RespIfs, g);
-                    }
+                    self.dcf.suspend();
+                    self.resp = Some(cts);
+                    self.phase = Phase::RespGap;
+                    let g = self.t_resp_gap.arm();
+                    ctx.schedule(SIFS, TimerKind::RespIfs, g);
                 }
-            FrameKind::Cts if addressed
-                && self.phase == Phase::WaitCts => {
-                    self.t_resp.cancel();
-                    self.phase = Phase::GapData;
-                    let gen = self.t_gap.arm();
-                    ctx.schedule(SIFS, TimerKind::Ifs, gen);
-                }
+            }
+            FrameKind::Cts if addressed && self.phase == Phase::WaitCts => {
+                self.t_resp.cancel();
+                self.phase = Phase::GapData;
+                let gen = self.t_gap.arm();
+                ctx.schedule(SIFS, TimerKind::Ifs, gen);
+            }
             FrameKind::DataReliable if addressed => {
                 if self.last_seq.get(&frame.src) != Some(&frame.seq) {
                     self.last_seq.insert(frame.src, frame.seq);
@@ -397,33 +394,34 @@ impl MacService for Mx {
                 }
             }
             TimerKind::AwaitResponse
-                if self.t_resp.disarm_if(gen) && self.phase == Phase::WaitCts => {
-                    // No CTS: the reservation failed; retry the round.
-                    self.attempt_failed(ctx);
-                }
+                if self.t_resp.disarm_if(gen) && self.phase == Phase::WaitCts =>
+            {
+                // No CTS: the reservation failed; retry the round.
+                self.attempt_failed(ctx);
+            }
             TimerKind::RespIfs
-                if self.t_resp_gap.disarm_if(gen) && self.phase == Phase::RespGap => {
-                    let frame = self.resp.take().expect("RespGap without response");
-                    ctx.counters().ctrl_airtime += frame.airtime();
-                    self.phase = Phase::TxResp;
-                    ctx.start_tx(frame);
-                }
-            TimerKind::Ifs
-                if self.t_gap.disarm_if(gen) && self.phase == Phase::GapData => {
-                    let Some(Job::Reliable(job)) = self.job.as_ref() else {
-                        return;
-                    };
-                    let mut frame = Frame::data_reliable(
-                        self.id,
-                        Dest::Group(job.receivers.clone()),
-                        job.payload.clone(),
-                        job.seq,
-                    );
-                    frame.nav = nak_len();
-                    ctx.counters().reliable_data_airtime += frame.airtime();
-                    self.phase = Phase::TxData;
-                    ctx.start_tx(frame);
-                }
+                if self.t_resp_gap.disarm_if(gen) && self.phase == Phase::RespGap =>
+            {
+                let frame = self.resp.take().expect("RespGap without response");
+                ctx.counters().ctrl_airtime += frame.airtime();
+                self.phase = Phase::TxResp;
+                ctx.start_tx(frame);
+            }
+            TimerKind::Ifs if self.t_gap.disarm_if(gen) && self.phase == Phase::GapData => {
+                let Some(Job::Reliable(job)) = self.job.as_ref() else {
+                    return;
+                };
+                let mut frame = Frame::data_reliable(
+                    self.id,
+                    Dest::Group(job.receivers.clone()),
+                    job.payload.clone(),
+                    job.seq,
+                );
+                frame.nav = nak_len();
+                ctx.counters().reliable_data_airtime += frame.airtime();
+                self.phase = Phase::TxData;
+                ctx.start_tx(frame);
+            }
             TimerKind::WfAbt => {
                 if !self.t_wf_nak.disarm_if(gen) || self.phase != Phase::WfNak {
                     return;
@@ -453,16 +451,14 @@ impl MacService for Mx {
                     self.post_cycle(ctx);
                 }
             }
-            TimerKind::AbtStart
-                if self.t_nak_start.disarm_if(gen) => {
-                    ctx.start_tone(Tone::Abt);
-                    let g = self.t_nak_stop.arm();
-                    ctx.schedule(nak_len(), TimerKind::AbtStop, g);
-                }
-            TimerKind::AbtStop
-                if self.t_nak_stop.disarm_if(gen) => {
-                    ctx.stop_tone(Tone::Abt);
-                }
+            TimerKind::AbtStart if self.t_nak_start.disarm_if(gen) => {
+                ctx.start_tone(Tone::Abt);
+                let g = self.t_nak_stop.arm();
+                ctx.schedule(nak_len(), TimerKind::AbtStop, g);
+            }
+            TimerKind::AbtStop if self.t_nak_stop.disarm_if(gen) => {
+                ctx.stop_tone(Tone::Abt);
+            }
             _ => {}
         }
     }

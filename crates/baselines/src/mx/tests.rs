@@ -183,7 +183,11 @@ fn retry_limit_drops_whole_group() {
     match &m.notifications[0].1 {
         TxOutcome::Reliable { delivered, failed } => {
             assert!(delivered.is_empty());
-            assert_eq!(failed.len(), 2, "NAK carries no identity: all retried, all dropped");
+            assert_eq!(
+                failed.len(),
+                2,
+                "NAK carries no identity: all retried, all dropped"
+            );
         }
         other => panic!("unexpected {other:?}"),
     }

@@ -1,0 +1,56 @@
+//! Bench target for the fault-injection plane (X8/X9): the overhead of an
+//! attached injector on an otherwise fault-free run, and the cost of a
+//! fully loaded plan.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rmac_bench::bench_config;
+use rmac_engine::{run_replication, run_replication_with_faults, Protocol};
+use rmac_faults::{BurstySpec, ChurnKind, ChurnSpec, FaultPlan, JamTarget, JammerSpec};
+
+fn loaded_plan() -> FaultPlan {
+    FaultPlan::none()
+        .with_bursty(BurstySpec::moderate())
+        .with_churn(ChurnSpec {
+            node: 3,
+            kind: ChurnKind::Crash,
+            at_ms: 2_000,
+            for_ms: 1_000,
+        })
+        .with_jammer(JammerSpec {
+            x: 150.0,
+            y: 90.0,
+            target: JamTarget::Rbt,
+            start_ms: 500,
+            period_ms: 40,
+            burst_ms: 8,
+        })
+}
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_config(40.0);
+    let clean = run_replication(&cfg, Protocol::Rmac, 0);
+    let faulted = run_replication_with_faults(&cfg, Protocol::Rmac, 0, &loaded_plan());
+    eprintln!(
+        "[X8] bench scale: delivery clean {:.4} vs faulted {:.4} ({} injected, {} crashes, {} bursts)",
+        clean.delivery_ratio(),
+        faulted.delivery_ratio(),
+        faulted.faults_injected,
+        faulted.fault_crashes,
+        faulted.fault_jam_bursts
+    );
+    let mut g = c.benchmark_group("faults");
+    g.sample_size(10);
+    g.bench_function("no_injector", |b| {
+        b.iter(|| run_replication(&cfg, Protocol::Rmac, 0))
+    });
+    g.bench_function("empty_plan", |b| {
+        b.iter(|| run_replication_with_faults(&cfg, Protocol::Rmac, 0, &FaultPlan::none()))
+    });
+    g.bench_function("loaded_plan", |b| {
+        b.iter(|| run_replication_with_faults(&cfg, Protocol::Rmac, 0, &loaded_plan()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

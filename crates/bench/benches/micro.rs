@@ -43,7 +43,9 @@ fn bench_channel(c: &mut Criterion) {
         b.iter_with_setup(
             || {
                 let motions: Vec<Motion> = (0..75)
-                    .map(|i| Motion::stationary(Pos::new((i % 10) as f64 * 7.0, (i / 10) as f64 * 7.0)))
+                    .map(|i| {
+                        Motion::stationary(Pos::new((i % 10) as f64 * 7.0, (i / 10) as f64 * 7.0))
+                    })
                     .collect();
                 (
                     Channel::new(ChannelConfig::default(), motions),
@@ -52,7 +54,12 @@ fn bench_channel(c: &mut Criterion) {
                 )
             },
             |(mut ch, mut q, mut rng)| {
-                let f = Frame::data_unreliable(NodeId(0), Dest::Broadcast, Bytes::from(vec![0u8; 500]), 0);
+                let f = Frame::data_unreliable(
+                    NodeId(0),
+                    Dest::Broadcast,
+                    Bytes::from(vec![0u8; 500]),
+                    0,
+                );
                 ch.start_tx(&mut q, NodeId(0), f);
                 ch.start_tone(&mut q, NodeId(1), Tone::Rbt);
                 ch.stop_tone(&mut q, NodeId(1), Tone::Rbt);

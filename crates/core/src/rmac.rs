@@ -574,7 +574,11 @@ impl Rmac {
                 self.post_cycle(ctx);
             }
             _ => {
-                debug_assert!(false, "TxDone in state {:?} for {:?}", self.state, frame.kind);
+                debug_assert!(
+                    false,
+                    "TxDone in state {:?} for {:?}",
+                    self.state, frame.kind
+                );
             }
         }
     }

@@ -735,7 +735,12 @@ fn partial_delivery_reported_exactly() {
 fn duplicate_listing_uses_first_slot() {
     let mut m = Mock::new();
     let mut r = mac(2);
-    m.rx_frame(&mut r, n(2), Frame::mrts(n(0), vec![n(2), n(1), n(2)]), true);
+    m.rx_frame(
+        &mut r,
+        n(2),
+        Frame::mrts(n(0), vec![n(2), n(1), n(2)]),
+        true,
+    );
     assert_eq!(r.state(), State::WfRdata);
     r.on_indication(&mut m, &Indication::CarrierOn { node: n(2) });
     let data = Frame::data_reliable(

@@ -181,7 +181,14 @@ impl Mock {
 
     /// Feed a received frame to the MAC.
     pub fn rx_frame<M: MacService>(&mut self, mac: &mut M, me: NodeId, frame: Frame, ok: bool) {
-        mac.on_indication(self, &Indication::FrameRx { node: me, frame, ok });
+        mac.on_indication(
+            self,
+            &Indication::FrameRx {
+                node: me,
+                frame,
+                ok,
+            },
+        );
     }
 }
 

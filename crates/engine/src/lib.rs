@@ -22,5 +22,6 @@ pub mod trace;
 pub mod world;
 
 pub use config::{Protocol, ScenarioConfig};
-pub use trace::{TraceEvent, TraceWhat, Tracer};
-pub use world::{run_replication, Runner};
+pub use rmac_faults::FaultPlan;
+pub use trace::{jsonl_file_tracer, TraceEvent, TraceWhat, Tracer};
+pub use world::{run_replication, run_replication_with_faults, Runner};

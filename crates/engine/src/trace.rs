@@ -7,6 +7,9 @@
 //! `examples/fig4_timeline.rs`.
 
 use std::fmt;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
 
 use rmac_phy::Tone;
 use rmac_sim::SimTime;
@@ -70,6 +73,11 @@ pub enum TraceWhat {
         /// Reliable or unreliable data.
         kind: FrameKind,
     },
+    /// A fault-plane event fired at this node (crash, restart, jam burst).
+    Fault {
+        /// What the fault plane did, e.g. `"crash"`, `"restart"`, `"jam-rbt"`.
+        label: &'static str,
+    },
 }
 
 impl fmt::Display for TraceEvent {
@@ -105,9 +113,58 @@ impl fmt::Display for TraceEvent {
             TraceWhat::Deliver { src, kind } => {
                 write!(f, "DELIVER {kind:?} from n{}", src.0)
             }
+            TraceWhat::Fault { label } => write!(f, "FAULT {label}"),
         }
     }
 }
 
+impl TraceEvent {
+    /// One-line JSON encoding (hand-rolled; the workspace carries no JSON
+    /// dependency). All fields are numbers, fixed strings, or booleans, so
+    /// no escaping is needed.
+    pub fn to_json(&self) -> String {
+        let head = format!("\"t_ns\":{},\"node\":{}", self.t.nanos(), self.node.0);
+        let what = match &self.what {
+            TraceWhat::TxDone {
+                kind,
+                bytes,
+                aborted,
+            } => format!(
+                "\"ev\":\"tx_done\",\"kind\":\"{kind:?}\",\"bytes\":{bytes},\"aborted\":{aborted}"
+            ),
+            TraceWhat::Rx { kind, src, ok } => {
+                format!(
+                    "\"ev\":\"rx\",\"kind\":\"{kind:?}\",\"src\":{},\"ok\":{ok}",
+                    src.0
+                )
+            }
+            TraceWhat::Tone { tone, present } => {
+                format!("\"ev\":\"tone\",\"tone\":\"{tone:?}\",\"present\":{present}")
+            }
+            TraceWhat::Carrier { busy } => format!("\"ev\":\"carrier\",\"busy\":{busy}"),
+            TraceWhat::Submit { reliable, bytes } => {
+                format!("\"ev\":\"submit\",\"reliable\":{reliable},\"bytes\":{bytes}")
+            }
+            TraceWhat::Deliver { src, kind } => {
+                format!("\"ev\":\"deliver\",\"kind\":\"{kind:?}\",\"src\":{}", src.0)
+            }
+            TraceWhat::Fault { label } => format!("\"ev\":\"fault\",\"label\":\"{label}\""),
+        };
+        format!("{{{head},{what}}}")
+    }
+}
+
 /// The observer callback type.
-pub type Tracer = Box<dyn FnMut(&TraceEvent)>;
+pub type Tracer = Box<dyn FnMut(&TraceEvent) + Send>;
+
+/// A [`Tracer`] that appends one JSON object per event to `path`
+/// (JSON-lines). The writer is buffered; it flushes when the runner drops
+/// the tracer at the end of the run.
+pub fn jsonl_file_tracer(path: impl AsRef<Path>) -> io::Result<Tracer> {
+    let mut out = BufWriter::new(File::create(path)?);
+    Ok(Box::new(move |ev: &TraceEvent| {
+        // I/O errors on a diagnostic sink are not worth crashing a
+        // simulation for; drop the event.
+        let _ = writeln!(out, "{}", ev.to_json());
+    }))
+}

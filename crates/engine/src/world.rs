@@ -1,12 +1,14 @@
 //! The event loop: one simulation replication.
 
+use bytes::Bytes;
 use rmac_core::api::{MacContext, MacCounters, MacService, TimerKind, TxOutcome, TxRequest};
+use rmac_faults::{ChurnKind, FaultInjector, FaultPlan, JamTarget};
 use rmac_metrics::{percentile, RunReport};
-use rmac_mobility::{random_positions, MobilityKind, Motion};
+use rmac_mobility::{random_positions, MobilityKind, Motion, Pos};
 use rmac_net::{BlessConfig, NetLayer};
 use rmac_phy::{Channel, ChannelConfig, Indication, PhyEvent, Tone, ToneLog};
 use rmac_sim::{EventQueue, SimRng, SimTime};
-use rmac_wire::{Frame, NodeId};
+use rmac_wire::{consts::BYTE_TIME, Dest, Frame, NodeId};
 
 use crate::config::{Protocol, ScenarioConfig};
 use crate::trace::{TraceEvent, TraceWhat, Tracer};
@@ -21,11 +23,30 @@ pub enum Ev {
         node: NodeId,
         kind: TimerKind,
         gen: u64,
+        /// The node's restart epoch when the timer was armed; a timer from
+        /// a pre-crash MAC incarnation is discarded on mismatch.
+        epoch: u32,
     },
     /// One node's BLESS-lite beacon tick.
     Beacon { node: NodeId },
     /// The source's next application packet.
     Source,
+    /// A scheduled fault-plane action.
+    Fault(FaultEv),
+}
+
+/// The fault plane's scheduled actions (crash/restart windows and jamming
+/// burst edges from the attached [`FaultPlan`]).
+#[derive(Clone, Copy, Debug)]
+pub enum FaultEv {
+    /// A node crashes: radio silenced, MAC and network state lost.
+    NodeDown { node: NodeId },
+    /// A crashed node restarts with fresh MAC and network entities.
+    NodeUp { node: NodeId },
+    /// Jammer `jammer` begins a noise burst.
+    JamOn { jammer: usize },
+    /// Jammer `jammer` ends a tone burst.
+    JamOff { jammer: usize },
 }
 
 impl From<PhyEvent> for Ev {
@@ -43,6 +64,24 @@ struct WorldCore {
     chan_rng: SimRng,
     rngs: Vec<SimRng>,
     counters: Vec<MacCounters>,
+    /// Per-node restart epoch; bumped on every fault-plane restart.
+    epochs: Vec<u32>,
+    /// Per-node clock-skew factor on MAC timer delays (1.0 = no skew).
+    skew: Vec<f64>,
+    /// Per-node crashed flag.
+    down: Vec<bool>,
+}
+
+impl WorldCore {
+    /// Apply `node`'s clock-skew factor to a MAC timer delay.
+    fn skewed(&self, node: NodeId, delay: SimTime) -> SimTime {
+        let f = self.skew[node.idx()];
+        if f == 1.0 {
+            delay
+        } else {
+            SimTime::from_nanos((delay.nanos() as f64 * f).round() as u64)
+        }
+    }
 }
 
 /// The per-call [`MacContext`] view handed to a MAC entity.
@@ -60,21 +99,35 @@ impl MacContext for Ctx<'_> {
     }
     fn schedule(&mut self, delay: SimTime, kind: TimerKind, gen: u64) {
         let node = self.node;
-        self.core
-            .q
-            .push_after(delay, Ev::MacTimer { node, kind, gen });
+        let delay = self.core.skewed(node, delay);
+        let epoch = self.core.epochs[node.idx()];
+        self.core.q.push_after(
+            delay,
+            Ev::MacTimer {
+                node,
+                kind,
+                gen,
+                epoch,
+            },
+        );
     }
     fn start_tx(&mut self, frame: Frame) {
-        self.core.channel.start_tx(&mut self.core.q, self.node, frame);
+        self.core
+            .channel
+            .start_tx(&mut self.core.q, self.node, frame);
     }
     fn abort_tx(&mut self) {
         self.core.channel.abort_tx(&mut self.core.q, self.node);
     }
     fn start_tone(&mut self, tone: Tone) {
-        self.core.channel.start_tone(&mut self.core.q, self.node, tone);
+        self.core
+            .channel
+            .start_tone(&mut self.core.q, self.node, tone);
     }
     fn stop_tone(&mut self, tone: Tone) {
-        self.core.channel.stop_tone(&mut self.core.q, self.node, tone);
+        self.core
+            .channel
+            .stop_tone(&mut self.core.q, self.node, tone);
     }
     fn data_busy(&self) -> bool {
         self.core.channel.data_busy(self.node)
@@ -107,6 +160,15 @@ impl MacContext for Ctx<'_> {
     }
 }
 
+/// Runtime state of an attached fault plan.
+struct FaultRt {
+    plan: FaultPlan,
+    crashes: u64,
+    jam_bursts: u64,
+    /// Sequence numbers for the jammers' noise frames.
+    jam_seq: u32,
+}
+
 /// One assembled replication: node stacks plus the event loop.
 pub struct Runner {
     core: WorldCore,
@@ -117,11 +179,27 @@ pub struct Runner {
     packets_left: u64,
     sched_rng: SimRng,
     tracer: Option<Tracer>,
+    faults: Option<FaultRt>,
 }
 
 impl Runner {
     /// Build a replication from a scenario, protocol and seed.
     pub fn new(cfg: &ScenarioConfig, protocol: Protocol, seed: u64) -> Runner {
+        Runner::with_faults(cfg, protocol, seed, &FaultPlan::none())
+    }
+
+    /// Build a replication with a fault plan attached.
+    ///
+    /// An empty plan is bit-identical to [`Runner::new`]: every RNG stream
+    /// is seeded exactly as in the fault-free constructor, the PHY hook is
+    /// only installed when the plan can corrupt frames, and jammer slots
+    /// are only appended when jammers exist.
+    pub fn with_faults(
+        cfg: &ScenarioConfig,
+        protocol: Protocol,
+        seed: u64,
+        plan: &FaultPlan,
+    ) -> Runner {
         let master = SimRng::new(seed);
         let mut place_rng = master.split(1);
         let positions = cfg
@@ -129,7 +207,7 @@ impl Runner {
             .clone()
             .unwrap_or_else(|| random_positions(cfg.nodes, cfg.bounds, &mut place_rng));
         debug_assert_eq!(positions.len(), cfg.nodes, "position count mismatch");
-        let motions: Vec<Motion> = positions
+        let mut motions: Vec<Motion> = positions
             .iter()
             .enumerate()
             .map(|(i, &p)| match cfg.mobility {
@@ -137,7 +215,12 @@ impl Runner {
                 kind => Motion::new(p, kind, cfg.bounds, master.split(1000 + i as u64)),
             })
             .collect();
-        let channel = Channel::new(
+        // Jammers occupy extra channel slots past the protocol population;
+        // they carry no MAC or network entity and never move.
+        for j in &plan.jammers {
+            motions.push(Motion::stationary(Pos { x: j.x, y: j.y }));
+        }
+        let mut channel = Channel::new(
             ChannelConfig {
                 range_m: cfg.range_m,
                 ber_per_bit: cfg.ber_per_bit,
@@ -145,6 +228,9 @@ impl Runner {
             },
             motions,
         );
+        if plan.has_phy_faults() {
+            channel.set_fault_hook(Box::new(FaultInjector::from_plan(plan, seed)));
+        }
         let bless_cfg = BlessConfig {
             beacon_period: cfg.beacon_period,
             freshness: cfg.freshness,
@@ -163,6 +249,12 @@ impl Runner {
         let rngs = (0..cfg.nodes)
             .map(|i| master.split(2000 + i as u64))
             .collect();
+        let mut skew = vec![1.0f64; cfg.nodes];
+        for s in &plan.skew {
+            if (s.node as usize) < cfg.nodes {
+                skew[s.node as usize] = 1.0 + s.ppm * 1e-6;
+            }
+        }
         Runner {
             core: WorldCore {
                 q: EventQueue::with_capacity(4096),
@@ -170,6 +262,9 @@ impl Runner {
                 chan_rng: master.split(2),
                 rngs,
                 counters: vec![MacCounters::default(); cfg.nodes],
+                epochs: vec![0; cfg.nodes],
+                skew,
+                down: vec![false; cfg.nodes],
             },
             macs,
             nets,
@@ -178,6 +273,16 @@ impl Runner {
             packets_left: cfg.packets,
             sched_rng: master.split(3),
             tracer: None,
+            faults: if plan.is_empty() {
+                None
+            } else {
+                Some(FaultRt {
+                    plan: plan.clone(),
+                    crashes: 0,
+                    jam_bursts: 0,
+                    jam_seq: 0,
+                })
+            },
         }
     }
 
@@ -202,9 +307,7 @@ impl Runner {
             return;
         }
         let what = match ind {
-            Indication::TxDone {
-                frame, aborted, ..
-            } => TraceWhat::TxDone {
+            Indication::TxDone { frame, aborted, .. } => TraceWhat::TxDone {
                 kind: frame.kind,
                 bytes: frame.length_bytes(),
                 aborted: *aborted,
@@ -245,9 +348,37 @@ impl Runner {
         for i in 0..self.cfg.nodes {
             let jitter =
                 SimTime::from_nanos(self.sched_rng.below(self.cfg.beacon_period.nanos().max(1)));
-            self.core.q.push(jitter, Ev::Beacon { node: NodeId(i as u16) });
+            self.core.q.push(
+                jitter,
+                Ev::Beacon {
+                    node: NodeId(i as u16),
+                },
+            );
         }
         self.core.q.push(self.cfg.warmup, Ev::Source);
+        if let Some(f) = &self.faults {
+            // Deaf/Mute churn is enforced purely at the PHY by the
+            // injector; only full crashes need engine-side events.
+            for c in &f.plan.churn {
+                if matches!(c.kind, ChurnKind::Crash) && (c.node as usize) < self.cfg.nodes {
+                    let node = NodeId(c.node);
+                    self.core.q.push(
+                        SimTime::from_millis(c.at_ms),
+                        Ev::Fault(FaultEv::NodeDown { node }),
+                    );
+                    self.core.q.push(
+                        SimTime::from_millis(c.at_ms + c.for_ms),
+                        Ev::Fault(FaultEv::NodeUp { node }),
+                    );
+                }
+            }
+            for (j, spec) in f.plan.jammers.iter().enumerate() {
+                self.core.q.push(
+                    SimTime::from_millis(spec.start_ms),
+                    Ev::Fault(FaultEv::JamOn { jammer: j }),
+                );
+            }
+        }
         let end = self.cfg.end_time();
         while let Some(t) = self.core.q.peek_time() {
             if t > end {
@@ -270,7 +401,17 @@ impl Runner {
                     self.indicate(&ind);
                 }
             }
-            Ev::MacTimer { node, kind, gen } => {
+            Ev::MacTimer {
+                node,
+                kind,
+                gen,
+                epoch,
+            } => {
+                // Timers armed by a MAC incarnation that has since crashed
+                // (or not yet restarted) must not fire.
+                if self.core.down[node.idx()] || epoch != self.core.epochs[node.idx()] {
+                    return;
+                }
                 let mut delivered = Vec::new();
                 let mut outcomes = Vec::new();
                 let neighbors = self.nets[node.idx()].fresh_neighbors(self.core.q.now());
@@ -285,11 +426,15 @@ impl Runner {
                 self.post_mac(node, delivered, outcomes);
             }
             Ev::Beacon { node } => {
-                let now = self.core.q.now();
-                let mut reqs = Vec::new();
-                self.nets[node.idx()].on_beacon_timer(now, &mut reqs);
-                for req in reqs {
-                    self.submit(node, req);
+                // A crashed node emits no beacons but keeps its tick alive
+                // (and its jitter draw, for determinism) for the restart.
+                if !self.core.down[node.idx()] {
+                    let now = self.core.q.now();
+                    let mut reqs = Vec::new();
+                    self.nets[node.idx()].on_beacon_timer(now, &mut reqs);
+                    for req in reqs {
+                        self.submit(node, req);
+                    }
                 }
                 // Next beacon: the nominal period plus a little jitter so
                 // beacons never phase-lock with the data traffic.
@@ -299,6 +444,14 @@ impl Runner {
             }
             Ev::Source => {
                 if self.packets_left == 0 {
+                    return;
+                }
+                if self.core.down[0] {
+                    // The source rides out its own crash: packets are
+                    // deferred, not silently dropped.
+                    self.core
+                        .q
+                        .push_after(self.cfg.source_interval(), Ev::Source);
                     return;
                 }
                 self.packets_left -= 1;
@@ -314,12 +467,132 @@ impl Runner {
                         .push_after(self.cfg.source_interval(), Ev::Source);
                 }
             }
+            Ev::Fault(fe) => self.on_fault(fe),
+        }
+    }
+
+    fn on_fault(&mut self, fe: FaultEv) {
+        match fe {
+            FaultEv::NodeDown { node } => {
+                self.trace(node, TraceWhat::Fault { label: "crash" });
+                self.core.down[node.idx()] = true;
+                if let Some(f) = self.faults.as_mut() {
+                    f.crashes += 1;
+                }
+                // Silence the radio: abort any transmission in flight and
+                // drop both busy tones.
+                if self.core.channel.is_transmitting(node) {
+                    self.core.channel.abort_tx(&mut self.core.q, node);
+                }
+                for tone in [Tone::Rbt, Tone::Abt] {
+                    if self.core.channel.is_emitting(node, tone) {
+                        self.core.channel.stop_tone(&mut self.core.q, node, tone);
+                    }
+                }
+            }
+            FaultEv::NodeUp { node } => {
+                self.trace(node, TraceWhat::Fault { label: "restart" });
+                self.core.down[node.idx()] = false;
+                // A restart loses all volatile state: fresh MAC and
+                // network entities, and a bumped epoch so the dead
+                // incarnation's timers cannot reach the new one.
+                self.core.epochs[node.idx()] = self.core.epochs[node.idx()].wrapping_add(1);
+                self.macs[node.idx()] = self.protocol.make_mac(node, self.cfg.mac);
+                let bless_cfg = BlessConfig {
+                    beacon_period: self.cfg.beacon_period,
+                    freshness: self.cfg.freshness,
+                    root: NodeId(0),
+                };
+                let mut net = NetLayer::new(node, bless_cfg, self.cfg.payload);
+                net.set_reliable_forwarding(self.cfg.reliable_forwarding);
+                self.nets[node.idx()] = net;
+            }
+            FaultEv::JamOn { jammer } => {
+                let (spec, seq) = {
+                    let f = self.faults.as_mut().expect("jam event without fault plan");
+                    let spec = f.plan.jammers[jammer].clone();
+                    f.jam_bursts += 1;
+                    f.jam_seq = f.jam_seq.wrapping_add(1);
+                    (spec, f.jam_seq)
+                };
+                let node = NodeId((self.cfg.nodes + jammer) as u16);
+                let label = match spec.target {
+                    JamTarget::Data => "jam-data",
+                    JamTarget::Rbt => "jam-rbt",
+                    JamTarget::Abt => "jam-abt",
+                };
+                self.trace(node, TraceWhat::Fault { label });
+                match spec.target {
+                    JamTarget::Data => {
+                        // One garbage broadcast frame sized to the burst
+                        // length; its payload never parses as a NetPayload,
+                        // so even a clean reception dies above the MAC.
+                        if !self.core.channel.is_transmitting(node) {
+                            let bytes_per_ms = 1_000_000 / BYTE_TIME.nanos();
+                            let len = (spec.burst_ms * bytes_per_ms).clamp(1, 1400) as usize;
+                            let frame = Frame::data_unreliable(
+                                node,
+                                Dest::Broadcast,
+                                Bytes::from(vec![0u8; len]),
+                                seq,
+                            );
+                            self.core.channel.start_tx(&mut self.core.q, node, frame);
+                        }
+                    }
+                    JamTarget::Rbt | JamTarget::Abt => {
+                        let tone = match spec.target {
+                            JamTarget::Rbt => Tone::Rbt,
+                            _ => Tone::Abt,
+                        };
+                        // Overlapping bursts merge: the earliest JamOff
+                        // wins. Keep burst_ms < period_ms for clean gaps.
+                        if !self.core.channel.is_emitting(node, tone) {
+                            self.core.channel.start_tone(&mut self.core.q, node, tone);
+                        }
+                        self.core.q.push_after(
+                            SimTime::from_millis(spec.burst_ms),
+                            Ev::Fault(FaultEv::JamOff { jammer }),
+                        );
+                    }
+                }
+                if spec.period_ms > 0 {
+                    self.core.q.push_after(
+                        SimTime::from_millis(spec.period_ms),
+                        Ev::Fault(FaultEv::JamOn { jammer }),
+                    );
+                }
+            }
+            FaultEv::JamOff { jammer } => {
+                let node = NodeId((self.cfg.nodes + jammer) as u16);
+                let target = self
+                    .faults
+                    .as_ref()
+                    .expect("jam event without fault plan")
+                    .plan
+                    .jammers[jammer]
+                    .target;
+                let tone = match target {
+                    JamTarget::Rbt => Tone::Rbt,
+                    JamTarget::Abt => Tone::Abt,
+                    // Data bursts end on their own when the frame's
+                    // airtime elapses.
+                    JamTarget::Data => return,
+                };
+                if self.core.channel.is_emitting(node, tone) {
+                    self.core.channel.stop_tone(&mut self.core.q, node, tone);
+                }
+            }
         }
     }
 
     fn indicate(&mut self, ind: &Indication) {
-        self.trace_indication(ind);
         let node = ind.node();
+        // Jammer slots (channel indices past the protocol population) have
+        // no MAC entity; crashed nodes have a dead one.
+        if node.idx() >= self.macs.len() || self.core.down[node.idx()] {
+            return;
+        }
+        self.trace_indication(ind);
         let mut delivered = Vec::new();
         let mut outcomes = Vec::new();
         let neighbors = self.nets[node.idx()].fresh_neighbors(self.core.q.now());
@@ -341,7 +614,10 @@ impl Runner {
         // Positive acknowledgments are cross-layer liveness evidence for
         // the tree (failures are already accounted in the MAC counters).
         for (_, outcome) in &outcomes {
-            if let TxOutcome::Reliable { delivered: acked, .. } = outcome {
+            if let TxOutcome::Reliable {
+                delivered: acked, ..
+            } = outcome
+            {
                 self.nets[node.idx()].on_reliable_outcome(now, acked);
             }
         }
@@ -489,6 +765,9 @@ impl Runner {
             children_p99: percentile(&children, 99.0),
             events: self.core.q.total_popped(),
             sim_secs: now.as_secs_f64(),
+            faults_injected: self.core.channel.faults_injected(),
+            fault_crashes: self.faults.as_ref().map_or(0, |f| f.crashes),
+            fault_jam_bursts: self.faults.as_ref().map_or(0, |f| f.jam_bursts),
         }
     }
 }
@@ -496,6 +775,19 @@ impl Runner {
 /// Run one replication and return its report.
 pub fn run_replication(cfg: &ScenarioConfig, protocol: Protocol, seed: u64) -> RunReport {
     Runner::new(cfg, protocol, seed).run(seed)
+}
+
+/// Run one replication under a fault plan and return its report.
+///
+/// With `FaultPlan::none()` this is bit-identical to [`run_replication`]
+/// (enforced by `tests/faults_determinism.rs`).
+pub fn run_replication_with_faults(
+    cfg: &ScenarioConfig,
+    protocol: Protocol,
+    seed: u64,
+    plan: &FaultPlan,
+) -> RunReport {
+    Runner::with_faults(cfg, protocol, seed, plan).run(seed)
 }
 
 #[cfg(test)]

@@ -28,7 +28,11 @@ fn rmac_delivers_on_a_small_stationary_network() {
         r.expected_receptions
     );
     assert!(r.nonleaf_nodes >= 1);
-    assert!(r.events > 1000, "simulation actually ran: {} events", r.events);
+    assert!(
+        r.events > 1000,
+        "simulation actually ran: {} events",
+        r.events
+    );
 }
 
 #[test]
@@ -102,8 +106,16 @@ fn tree_statistics_are_sane() {
 fn mrts_lengths_follow_fig3_bounds() {
     let cfg = tiny(10.0, 10, 30);
     let r = run_replication(&cfg, Protocol::Rmac, 13);
-    assert!(r.mrts_len_avg >= 18.0, "minimum MRTS is 18 B: {}", r.mrts_len_avg);
-    assert!(r.mrts_len_max <= 132.0, "≤ 20 receivers ⇒ ≤ 132 B: {}", r.mrts_len_max);
+    assert!(
+        r.mrts_len_avg >= 18.0,
+        "minimum MRTS is 18 B: {}",
+        r.mrts_len_avg
+    );
+    assert!(
+        r.mrts_len_max <= 132.0,
+        "≤ 20 receivers ⇒ ≤ 132 B: {}",
+        r.mrts_len_max
+    );
 }
 
 #[test]
@@ -157,8 +169,7 @@ fn trace_reproduces_fig4_sequence() {
     use crate::Runner;
     use rmac_phy::Tone;
     use rmac_wire::FrameKind;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::{Arc, Mutex};
 
     let cfg = crate::ScenarioConfig::paper_stationary(5.0)
         .with_packets(1)
@@ -167,26 +178,58 @@ fn trace_reproduces_fig4_sequence() {
             rmac_mobility::Pos::new(50.0, 0.0),
             rmac_mobility::Pos::new(0.0, 50.0),
         ]);
-    let events: Rc<RefCell<Vec<TraceEvent>>> = Rc::default();
+    let events: Arc<Mutex<Vec<TraceEvent>>> = Arc::default();
     let sink = events.clone();
     let mut runner = Runner::new(&cfg, crate::Protocol::Rmac, 3);
-    runner.set_tracer(Box::new(move |e| sink.borrow_mut().push(e.clone())));
+    runner.set_tracer(Box::new(move |e| sink.lock().unwrap().push(e.clone())));
     let report = runner.run(3);
     assert_eq!(report.delivery_ratio(), 1.0);
 
-    let events = events.borrow();
+    let events = events.lock().unwrap();
     let pos = |pred: &dyn Fn(&TraceWhat) -> bool| {
         events
             .iter()
             .position(|e| pred(&e.what))
             .unwrap_or_else(|| panic!("missing trace event"))
     };
-    let mrts = pos(&|w| matches!(w, TraceWhat::TxDone { kind: FrameKind::Mrts, aborted: false, .. }));
-    let rbt_on = pos(&|w| matches!(w, TraceWhat::Tone { tone: Tone::Rbt, present: true }));
-    let data = pos(&|w| {
-        matches!(w, TraceWhat::TxDone { kind: FrameKind::DataReliable, aborted: false, .. })
+    let mrts = pos(&|w| {
+        matches!(
+            w,
+            TraceWhat::TxDone {
+                kind: FrameKind::Mrts,
+                aborted: false,
+                ..
+            }
+        )
     });
-    let abt_on = pos(&|w| matches!(w, TraceWhat::Tone { tone: Tone::Abt, present: true }));
+    let rbt_on = pos(&|w| {
+        matches!(
+            w,
+            TraceWhat::Tone {
+                tone: Tone::Rbt,
+                present: true
+            }
+        )
+    });
+    let data = pos(&|w| {
+        matches!(
+            w,
+            TraceWhat::TxDone {
+                kind: FrameKind::DataReliable,
+                aborted: false,
+                ..
+            }
+        )
+    });
+    let abt_on = pos(&|w| {
+        matches!(
+            w,
+            TraceWhat::Tone {
+                tone: Tone::Abt,
+                present: true
+            }
+        )
+    });
     // Deliveries of the *reliable* packet come from the sender n0 and must
     // follow the MRTS (beacons also trace Deliver events, so filter by
     // source and position).
@@ -195,7 +238,10 @@ fn trace_reproduces_fig4_sequence() {
         .position(|e| {
             matches!(
                 e.what,
-                TraceWhat::Deliver { kind: FrameKind::DataReliable, .. }
+                TraceWhat::Deliver {
+                    kind: FrameKind::DataReliable,
+                    ..
+                }
             )
         })
         .expect("reliable delivery traced");
@@ -210,9 +256,111 @@ fn trace_reproduces_fig4_sequence() {
         .filter(|e| {
             matches!(
                 e.what,
-                TraceWhat::Deliver { kind: FrameKind::DataReliable, .. }
+                TraceWhat::Deliver {
+                    kind: FrameKind::DataReliable,
+                    ..
+                }
             )
         })
         .count();
     assert_eq!(delivers, 2);
+}
+
+#[test]
+fn crashing_the_only_relay_starves_downstream_nodes() {
+    use crate::world::run_replication_with_faults;
+    use rmac_faults::{ChurnKind, ChurnSpec, FaultPlan};
+
+    // A 3-node chain where node 1 is the only path from the source to
+    // node 2 (range 75 m, spacing 60 m).
+    let cfg = ScenarioConfig::paper_stationary(10.0)
+        .with_packets(20)
+        .with_positions(vec![
+            rmac_mobility::Pos::new(0.0, 0.0),
+            rmac_mobility::Pos::new(60.0, 0.0),
+            rmac_mobility::Pos::new(120.0, 0.0),
+        ]);
+    let baseline = run_replication(&cfg, Protocol::Rmac, 5);
+    assert!(
+        baseline.delivery_ratio() > 0.9,
+        "{}",
+        baseline.delivery_ratio()
+    );
+
+    // Crash node 1 for (effectively) the whole run.
+    let plan = FaultPlan::none().with_churn(ChurnSpec {
+        node: 1,
+        kind: ChurnKind::Crash,
+        at_ms: 0,
+        for_ms: 1_000_000,
+    });
+    let faulted = run_replication_with_faults(&cfg, Protocol::Rmac, 5, &plan);
+    assert_eq!(faulted.fault_crashes, 1);
+    assert!(
+        faulted.faults_injected > 0,
+        "PHY hook silenced the crashed radio"
+    );
+    assert!(
+        faulted.delivery_ratio() < 0.1,
+        "no path around the dead relay, got {}",
+        faulted.delivery_ratio()
+    );
+}
+
+#[test]
+fn rbt_jammer_forces_mrts_aborts_nearby() {
+    use crate::world::run_replication_with_faults;
+    use rmac_faults::{FaultPlan, JamTarget, JammerSpec};
+
+    let cfg = ScenarioConfig::paper_stationary(20.0)
+        .with_packets(40)
+        .with_positions(vec![
+            rmac_mobility::Pos::new(0.0, 0.0),
+            rmac_mobility::Pos::new(50.0, 0.0),
+            rmac_mobility::Pos::new(0.0, 50.0),
+        ]);
+    // A jammer parked on the sender, holding a false RBT half the time.
+    let plan = FaultPlan::none().with_jammer(JammerSpec {
+        x: 10.0,
+        y: 10.0,
+        target: JamTarget::Rbt,
+        start_ms: 0,
+        period_ms: 20,
+        burst_ms: 10,
+    });
+    let baseline = run_replication(&cfg, Protocol::Rmac, 3);
+    let jammed = run_replication_with_faults(&cfg, Protocol::Rmac, 3, &plan);
+    assert!(jammed.fault_jam_bursts > 50);
+    // The false tone must be *observed* as protocol pressure: more MRTS
+    // abortions (or deferrals showing up as delay) than the clean run.
+    assert!(
+        jammed.abort_avg >= baseline.abort_avg,
+        "jam {} vs clean {}",
+        jammed.abort_avg,
+        baseline.abort_avg
+    );
+    assert!(jammed.e2e_delay_avg_s > baseline.e2e_delay_avg_s);
+}
+
+#[test]
+fn jsonl_tracer_writes_one_object_per_event() {
+    use crate::trace::jsonl_file_tracer;
+
+    let path = std::env::temp_dir().join("rmac_trace_test.jsonl");
+    let cfg = tiny(20.0, 4, 3);
+    let mut runner = crate::Runner::new(&cfg, Protocol::Rmac, 2);
+    runner.set_tracer(jsonl_file_tracer(&path).expect("create sink"));
+    let report = runner.run(2);
+    assert!(report.receptions > 0);
+
+    let text = std::fs::read_to_string(&path).expect("trace file written");
+    let _ = std::fs::remove_file(&path);
+    assert!(text.lines().count() > 10, "trace has events");
+    for line in text.lines() {
+        assert!(
+            line.starts_with("{\"t_ns\":") && line.ends_with('}'),
+            "bad line: {line}"
+        );
+        assert!(line.contains("\"ev\":\""), "bad line: {line}");
+    }
 }

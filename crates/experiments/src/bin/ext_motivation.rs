@@ -51,7 +51,10 @@ fn main() {
                 fmt(rate, 0),
                 fmt(reliable.delivery_ratio(), 4),
                 fmt(unreliable.delivery_ratio(), 4),
-                format!("{:.2}x", reliable.delivery_ratio() / unreliable.delivery_ratio().max(1e-9)),
+                format!(
+                    "{:.2}x",
+                    reliable.delivery_ratio() / unreliable.delivery_ratio().max(1e-9)
+                ),
             ]);
         }
     }

@@ -15,7 +15,13 @@ fn main() {
         .unwrap_or(10);
     let mut t = Table::new(
         "Fig.6 — tree topology statistics (paper: hops 3.87/10, children 3.54/9)",
-        &["seed", "hops_avg", "hops_p99", "children_avg", "children_p99"],
+        &[
+            "seed",
+            "hops_avg",
+            "hops_p99",
+            "children_avg",
+            "children_p99",
+        ],
     );
     let mut hops_sum = 0.0;
     let mut kids_sum = 0.0;

@@ -2,13 +2,22 @@
 //! (scenario, rate, protocol) with the headline metrics. Used during
 //! calibration; not part of the paper reproduction.
 
-use std::time::Instant;
 use rmac_engine::{run_replication, Protocol, ScenarioConfig};
+use std::time::Instant;
 fn main() {
     for (label, cfg) in [
-        ("speed1@20", ScenarioConfig::paper_speed1(20.0).with_packets(100)),
-        ("speed2@20", ScenarioConfig::paper_speed2(20.0).with_packets(100)),
-        ("speed2@120", ScenarioConfig::paper_speed2(120.0).with_packets(100)),
+        (
+            "speed1@20",
+            ScenarioConfig::paper_speed1(20.0).with_packets(100),
+        ),
+        (
+            "speed2@20",
+            ScenarioConfig::paper_speed2(20.0).with_packets(100),
+        ),
+        (
+            "speed2@120",
+            ScenarioConfig::paper_speed2(120.0).with_packets(100),
+        ),
     ] {
         for proto in [Protocol::Rmac, Protocol::Bmmm] {
             let cfg = cfg.clone();

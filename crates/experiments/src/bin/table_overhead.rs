@@ -38,7 +38,9 @@ fn main() {
         ]);
     }
     println!("{}", t.render());
-    println!("paper checkpoints: BMMM ctrl = 632·n µs; ACK body = 56 µs; PHY overhead = 96 µs/frame");
+    println!(
+        "paper checkpoints: BMMM ctrl = 632·n µs; ACK body = 56 µs; PHY overhead = 96 µs/frame"
+    );
     let _ = std::fs::create_dir_all("results");
     let _ = std::fs::write("results/table_overhead.csv", t.to_csv());
 }

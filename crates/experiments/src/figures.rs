@@ -130,9 +130,13 @@ pub fn fig10(results: &SweepResults) -> Vec<(ScenarioKind, Table)> {
 
 /// Fig. 11: average transmission overhead ratio.
 pub fn fig11(results: &SweepResults) -> Vec<(ScenarioKind, Table)> {
-    metric_tables(results, "Fig.11", "avg transmission overhead ratio", 4, |r| {
-        r.txoh_ratio_avg
-    })
+    metric_tables(
+        results,
+        "Fig.11",
+        "avg transmission overhead ratio",
+        4,
+        |r| r.txoh_ratio_avg,
+    )
 }
 
 /// Fig. 12: MRTS length statistics (bytes), RMAC only.

@@ -1,0 +1,272 @@
+//! A tiny JSON reader sufficient for [`crate::FaultPlan`] documents:
+//! objects, arrays, strings (no escapes beyond `\"` and `\\`), and f64
+//! numbers. Hand-rolled because the build environment is offline and the
+//! workspace vendors every dependency it keeps.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// A number (all JSON numbers are read as f64).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object.
+    Obj(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// Render this value back to JSON text.
+    pub fn render(&self) -> String {
+        match self {
+            JsonValue::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    format!("{}", *n as i64)
+                } else {
+                    format!("{n}")
+                }
+            }
+            JsonValue::Str(s) => {
+                let escaped: String = s
+                    .chars()
+                    .flat_map(|c| match c {
+                        '"' => vec!['\\', '"'],
+                        '\\' => vec!['\\', '\\'],
+                        c => vec![c],
+                    })
+                    .collect();
+                format!("\"{escaped}\"")
+            }
+            JsonValue::Arr(items) => {
+                let inner: Vec<String> = items.iter().map(JsonValue::render).collect();
+                format!("[{}]", inner.join(","))
+            }
+            JsonValue::Obj(map) => {
+                let inner: Vec<String> = map
+                    .iter()
+                    .map(|(k, v)| format!("\"{k}\":{}", v.render()))
+                    .collect();
+                format!("{{{}}}", inner.join(","))
+            }
+        }
+    }
+
+    /// This value as an object, or an error naming `what`.
+    pub fn as_obj(&self, what: &str) -> Result<&BTreeMap<String, JsonValue>, String> {
+        match self {
+            JsonValue::Obj(m) => Ok(m),
+            other => Err(format!("{what}: expected object, got {other:?}")),
+        }
+    }
+}
+
+/// Typed field accessors used by the plan parser.
+pub trait ObjExt {
+    /// Required numeric field.
+    fn num(&self, key: &str) -> Result<f64, String>;
+    /// Numeric field with a default.
+    fn num_or(&self, key: &str, default: f64) -> Result<f64, String>;
+    /// Required string field.
+    fn str(&self, key: &str) -> Result<String, String>;
+    /// Array field, empty if missing.
+    fn array_or_empty(&self, key: &str) -> Result<Vec<JsonValue>, String>;
+}
+
+impl ObjExt for BTreeMap<String, JsonValue> {
+    fn num(&self, key: &str) -> Result<f64, String> {
+        match BTreeMap::get(self, key) {
+            Some(JsonValue::Num(n)) => Ok(*n),
+            Some(other) => Err(format!("field {key}: expected number, got {other:?}")),
+            None => Err(format!("missing field {key}")),
+        }
+    }
+
+    fn num_or(&self, key: &str, default: f64) -> Result<f64, String> {
+        match BTreeMap::get(self, key) {
+            Some(JsonValue::Num(n)) => Ok(*n),
+            Some(other) => Err(format!("field {key}: expected number, got {other:?}")),
+            None => Ok(default),
+        }
+    }
+
+    fn str(&self, key: &str) -> Result<String, String> {
+        match BTreeMap::get(self, key) {
+            Some(JsonValue::Str(s)) => Ok(s.clone()),
+            Some(other) => Err(format!("field {key}: expected string, got {other:?}")),
+            None => Err(format!("missing field {key}")),
+        }
+    }
+
+    fn array_or_empty(&self, key: &str) -> Result<Vec<JsonValue>, String> {
+        match BTreeMap::get(self, key) {
+            Some(JsonValue::Arr(v)) => Ok(v.clone()),
+            Some(other) => Err(format!("field {key}: expected array, got {other:?}")),
+            None => Ok(Vec::new()),
+        }
+    }
+}
+
+/// Parse one JSON document.
+pub fn parse(text: &str) -> Result<JsonValue, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing input at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && b[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_obj(b, pos),
+        Some(b'[') => parse_arr(b, pos),
+        Some(b'"') => Ok(JsonValue::Str(parse_string(b, pos)?)),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_num(b, pos),
+        Some(c) => Err(format!("unexpected byte {:?} at {pos:?}", *c as char)),
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn parse_obj(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    *pos += 1; // '{'
+    let mut map = BTreeMap::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JsonValue::Obj(map));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos:?}"));
+        }
+        *pos += 1;
+        let value = parse_value(b, pos)?;
+        map.insert(key, value);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JsonValue::Obj(map));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos:?}")),
+        }
+    }
+}
+
+fn parse_arr(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    *pos += 1; // '['
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JsonValue::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JsonValue::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos:?}")),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos:?}"));
+    }
+    *pos += 1;
+    let mut out = Vec::new();
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => {
+                return String::from_utf8(out).map_err(|e| format!("invalid utf8: {e}"));
+            }
+            b'\\' => {
+                let esc = b.get(*pos).copied().ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push(b'"'),
+                    b'\\' => out.push(b'\\'),
+                    other => return Err(format!("unsupported escape \\{}", other as char)),
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_num(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while let Some(&c) = b.get(*pos) {
+        if c.is_ascii_digit() || c == b'.' || c == b'e' || c == b'E' || c == b'+' || c == b'-' {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| format!("{e}"))?;
+    text.parse::<f64>()
+        .map(JsonValue::Num)
+        .map_err(|e| format!("bad number {text:?}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested() {
+        let v = parse(r#"{"a": [1, 2.5, -3], "b": {"c": "x\"y"}}"#).unwrap();
+        let obj = v.as_obj("root").unwrap();
+        assert_eq!(
+            obj.get("a"),
+            Some(&JsonValue::Arr(vec![
+                JsonValue::Num(1.0),
+                JsonValue::Num(2.5),
+                JsonValue::Num(-3.0)
+            ]))
+        );
+        let b = obj.get("b").unwrap().as_obj("b").unwrap();
+        assert_eq!(b.get("c"), Some(&JsonValue::Str("x\"y".into())));
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let v = parse(r#"{"k":[{"n":42},"s"]}"#).unwrap();
+        assert_eq!(parse(&v.render()).unwrap(), v);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{\"a\" 1}").is_err());
+        assert!(parse("12 34").is_err());
+    }
+}

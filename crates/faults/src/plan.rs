@@ -1,0 +1,408 @@
+//! The declarative fault plan and its JSON form.
+
+use crate::json::{parse, JsonValue, ObjExt};
+
+/// Parameters of a per-link Gilbert–Elliott bursty-loss chain.
+///
+/// Every ordered link (src → rx) gets an independent two-state chain with
+/// exponential sojourn times; while a link's chain is in the *bad* state,
+/// frames on it are corrupted with probability [`loss_bad`], modeling a
+/// deep fade or an interference burst.
+///
+/// [`loss_bad`]: BurstySpec::loss_bad
+#[derive(Clone, Debug, PartialEq)]
+pub struct BurstySpec {
+    /// Mean sojourn in the good state, in milliseconds.
+    pub mean_good_ms: f64,
+    /// Mean sojourn in the bad state, in milliseconds.
+    pub mean_bad_ms: f64,
+    /// Frame corruption probability while good (usually 0).
+    pub loss_good: f64,
+    /// Frame corruption probability while bad.
+    pub loss_bad: f64,
+}
+
+impl BurstySpec {
+    /// A moderately bursty channel: 2% long-run loss concentrated into
+    /// bursts (~200 ms fades every ~2 s, 20% loss inside a fade).
+    pub fn moderate() -> BurstySpec {
+        BurstySpec {
+            mean_good_ms: 2000.0,
+            mean_bad_ms: 200.0,
+            loss_good: 0.0,
+            loss_bad: 0.2,
+        }
+    }
+
+    /// A harsh channel: half-second fades every two seconds losing 60%.
+    pub fn harsh() -> BurstySpec {
+        BurstySpec {
+            mean_good_ms: 2000.0,
+            mean_bad_ms: 500.0,
+            loss_good: 0.01,
+            loss_bad: 0.6,
+        }
+    }
+}
+
+/// What kind of churn a [`ChurnSpec`] applies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChurnKind {
+    /// Full crash: the node's MAC/net stack is torn down for the window
+    /// and rebuilt (fresh state) at restart; nothing is sent or heard.
+    Crash,
+    /// Receiver failure: the node keeps transmitting but hears nothing.
+    Deaf,
+    /// Transmitter failure: the node hears normally but nothing it sends
+    /// is received.
+    Mute,
+}
+
+impl ChurnKind {
+    fn label(self) -> &'static str {
+        match self {
+            ChurnKind::Crash => "crash",
+            ChurnKind::Deaf => "deaf",
+            ChurnKind::Mute => "mute",
+        }
+    }
+
+    fn from_label(s: &str) -> Result<ChurnKind, String> {
+        match s {
+            "crash" => Ok(ChurnKind::Crash),
+            "deaf" => Ok(ChurnKind::Deaf),
+            "mute" => Ok(ChurnKind::Mute),
+            other => Err(format!("unknown churn kind {other:?}")),
+        }
+    }
+}
+
+/// One scheduled churn window on one node.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChurnSpec {
+    /// The affected node.
+    pub node: u16,
+    /// Crash, deaf or mute.
+    pub kind: ChurnKind,
+    /// Window start, milliseconds of simulation time.
+    pub at_ms: u64,
+    /// Window length in milliseconds.
+    pub for_ms: u64,
+}
+
+/// Which channel a jammer attacks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JamTarget {
+    /// Noise frames on the data channel.
+    Data,
+    /// Holds the Receiver Busy Tone channel.
+    Rbt,
+    /// Holds the Acknowledgment Busy Tone channel.
+    Abt,
+}
+
+impl JamTarget {
+    fn label(self) -> &'static str {
+        match self {
+            JamTarget::Data => "data",
+            JamTarget::Rbt => "rbt",
+            JamTarget::Abt => "abt",
+        }
+    }
+
+    fn from_label(s: &str) -> Result<JamTarget, String> {
+        match s {
+            "data" => Ok(JamTarget::Data),
+            "rbt" => Ok(JamTarget::Rbt),
+            "abt" => Ok(JamTarget::Abt),
+            other => Err(format!("unknown jam target {other:?}")),
+        }
+    }
+}
+
+/// One stationary jammer emitting periodic bursts.
+///
+/// Jammers occupy extra channel slots beyond the protocol population, so
+/// they collide with real traffic without appearing in any metric
+/// denominator.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JammerSpec {
+    /// Position (meters).
+    pub x: f64,
+    /// Position (meters).
+    pub y: f64,
+    /// Channel under attack.
+    pub target: JamTarget,
+    /// First burst, milliseconds of simulation time.
+    pub start_ms: u64,
+    /// Burst cadence in milliseconds (start-to-start).
+    pub period_ms: u64,
+    /// Burst length in milliseconds.
+    pub burst_ms: u64,
+}
+
+/// Constant clock skew on one node's MAC timers.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SkewSpec {
+    /// The affected node.
+    pub node: u16,
+    /// Parts-per-million error: +100 means timers fire 100 µs/s late.
+    pub ppm: f64,
+}
+
+/// A complete, declarative description of every fault in one run.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Salt mixed into the fault RNG stream, so the same scenario seed can
+    /// be rerun under statistically independent fault draws.
+    pub salt: u64,
+    /// Per-link bursty loss, if any.
+    pub bursty: Option<BurstySpec>,
+    /// Scheduled churn windows.
+    pub churn: Vec<ChurnSpec>,
+    /// Jammer placements.
+    pub jammers: Vec<JammerSpec>,
+    /// Per-node clock skews.
+    pub skew: Vec<SkewSpec>,
+}
+
+impl FaultPlan {
+    /// The empty plan: attaching it is bit-identical to attaching nothing.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Does the plan contain no faults at all?
+    pub fn is_empty(&self) -> bool {
+        self.bursty.is_none()
+            && self.churn.is_empty()
+            && self.jammers.is_empty()
+            && self.skew.is_empty()
+    }
+
+    /// Does the plan need a PHY-side hook (anything that corrupts frames)?
+    pub fn has_phy_faults(&self) -> bool {
+        self.bursty.is_some() || !self.churn.is_empty()
+    }
+
+    /// Builder: set the bursty-loss spec.
+    pub fn with_bursty(mut self, spec: BurstySpec) -> FaultPlan {
+        self.bursty = Some(spec);
+        self
+    }
+
+    /// Builder: add a churn window.
+    pub fn with_churn(mut self, spec: ChurnSpec) -> FaultPlan {
+        self.churn.push(spec);
+        self
+    }
+
+    /// Builder: add a jammer.
+    pub fn with_jammer(mut self, spec: JammerSpec) -> FaultPlan {
+        self.jammers.push(spec);
+        self
+    }
+
+    /// Builder: add a clock skew.
+    pub fn with_skew(mut self, spec: SkewSpec) -> FaultPlan {
+        self.skew.push(spec);
+        self
+    }
+
+    /// Serialize to the plan's JSON dialect.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        push_field(&mut s, "salt", &JsonValue::Num(self.salt as f64));
+        if let Some(b) = &self.bursty {
+            let mut o = String::from("{");
+            push_field(&mut o, "mean_good_ms", &JsonValue::Num(b.mean_good_ms));
+            push_field(&mut o, "mean_bad_ms", &JsonValue::Num(b.mean_bad_ms));
+            push_field(&mut o, "loss_good", &JsonValue::Num(b.loss_good));
+            push_field(&mut o, "loss_bad", &JsonValue::Num(b.loss_bad));
+            close_obj(&mut o);
+            s.push_str("\"bursty\":");
+            s.push_str(&o);
+            s.push(',');
+        }
+        s.push_str("\"churn\":[");
+        for (i, c) in self.churn.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let mut o = String::from("{");
+            push_field(&mut o, "node", &JsonValue::Num(c.node as f64));
+            push_field(&mut o, "kind", &JsonValue::Str(c.kind.label().into()));
+            push_field(&mut o, "at_ms", &JsonValue::Num(c.at_ms as f64));
+            push_field(&mut o, "for_ms", &JsonValue::Num(c.for_ms as f64));
+            close_obj(&mut o);
+            s.push_str(&o);
+        }
+        s.push_str("],\"jammers\":[");
+        for (i, j) in self.jammers.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let mut o = String::from("{");
+            push_field(&mut o, "x", &JsonValue::Num(j.x));
+            push_field(&mut o, "y", &JsonValue::Num(j.y));
+            push_field(&mut o, "target", &JsonValue::Str(j.target.label().into()));
+            push_field(&mut o, "start_ms", &JsonValue::Num(j.start_ms as f64));
+            push_field(&mut o, "period_ms", &JsonValue::Num(j.period_ms as f64));
+            push_field(&mut o, "burst_ms", &JsonValue::Num(j.burst_ms as f64));
+            close_obj(&mut o);
+            s.push_str(&o);
+        }
+        s.push_str("],\"skew\":[");
+        for (i, k) in self.skew.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let mut o = String::from("{");
+            push_field(&mut o, "node", &JsonValue::Num(k.node as f64));
+            push_field(&mut o, "ppm", &JsonValue::Num(k.ppm));
+            close_obj(&mut o);
+            s.push_str(&o);
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Parse a plan previously produced by [`FaultPlan::to_json`].
+    pub fn from_json(text: &str) -> Result<FaultPlan, String> {
+        let v = parse(text)?;
+        let obj = v.as_obj("plan")?;
+        let mut plan = FaultPlan {
+            salt: obj.num_or("salt", 0.0)? as u64,
+            ..FaultPlan::default()
+        };
+        if let Some(b) = obj.get("bursty") {
+            let bo = b.as_obj("bursty")?;
+            plan.bursty = Some(BurstySpec {
+                mean_good_ms: bo.num("mean_good_ms")?,
+                mean_bad_ms: bo.num("mean_bad_ms")?,
+                loss_good: bo.num("loss_good")?,
+                loss_bad: bo.num("loss_bad")?,
+            });
+        }
+        for c in obj.array_or_empty("churn")? {
+            let co = c.as_obj("churn entry")?;
+            plan.churn.push(ChurnSpec {
+                node: co.num("node")? as u16,
+                kind: ChurnKind::from_label(&co.str("kind")?)?,
+                at_ms: co.num("at_ms")? as u64,
+                for_ms: co.num("for_ms")? as u64,
+            });
+        }
+        for j in obj.array_or_empty("jammers")? {
+            let jo = j.as_obj("jammer entry")?;
+            plan.jammers.push(JammerSpec {
+                x: jo.num("x")?,
+                y: jo.num("y")?,
+                target: JamTarget::from_label(&jo.str("target")?)?,
+                start_ms: jo.num("start_ms")? as u64,
+                period_ms: jo.num("period_ms")? as u64,
+                burst_ms: jo.num("burst_ms")? as u64,
+            });
+        }
+        for k in obj.array_or_empty("skew")? {
+            let ko = k.as_obj("skew entry")?;
+            plan.skew.push(SkewSpec {
+                node: ko.num("node")? as u16,
+                ppm: ko.num("ppm")?,
+            });
+        }
+        Ok(plan)
+    }
+}
+
+fn push_field(s: &mut String, key: &str, v: &JsonValue) {
+    s.push('"');
+    s.push_str(key);
+    s.push_str("\":");
+    s.push_str(&v.render());
+    s.push(',');
+}
+
+fn close_obj(s: &mut String) {
+    if s.ends_with(',') {
+        s.pop();
+    }
+    s.push('}');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_plan() -> FaultPlan {
+        FaultPlan {
+            salt: 7,
+            ..FaultPlan::none()
+        }
+        .with_bursty(BurstySpec::moderate())
+        .with_churn(ChurnSpec {
+            node: 3,
+            kind: ChurnKind::Crash,
+            at_ms: 5000,
+            for_ms: 2000,
+        })
+        .with_churn(ChurnSpec {
+            node: 9,
+            kind: ChurnKind::Deaf,
+            at_ms: 1000,
+            for_ms: 10_000,
+        })
+        .with_jammer(JammerSpec {
+            x: 50.0,
+            y: 50.0,
+            target: JamTarget::Rbt,
+            start_ms: 5000,
+            period_ms: 100,
+            burst_ms: 40,
+        })
+        .with_skew(SkewSpec {
+            node: 2,
+            ppm: 150.0,
+        })
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let plan = sample_plan();
+        let text = plan.to_json();
+        let back = FaultPlan::from_json(&text).expect("parse");
+        assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn empty_plan_roundtrips_and_is_empty() {
+        let none = FaultPlan::none();
+        assert!(none.is_empty());
+        assert!(!none.has_phy_faults());
+        let back = FaultPlan::from_json(&none.to_json()).expect("parse");
+        assert_eq!(none, back);
+    }
+
+    #[test]
+    fn phy_fault_detection() {
+        assert!(FaultPlan::none()
+            .with_bursty(BurstySpec::harsh())
+            .has_phy_faults());
+        assert!(!FaultPlan::none()
+            .with_jammer(JammerSpec {
+                x: 0.0,
+                y: 0.0,
+                target: JamTarget::Data,
+                start_ms: 0,
+                period_ms: 100,
+                burst_ms: 10,
+            })
+            .has_phy_faults());
+    }
+
+    #[test]
+    fn bad_labels_rejected() {
+        let text = r#"{"salt":0,"churn":[{"node":1,"kind":"gone","at_ms":0,"for_ms":1}],"jammers":[],"skew":[]}"#;
+        assert!(FaultPlan::from_json(text).is_err());
+    }
+}

@@ -1,10 +1,8 @@
 //! Per-replication result records.
 
-use serde::{Deserialize, Serialize};
-
 /// Everything one simulation replication reports — the raw material for
 /// every figure in the paper's §4.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct RunReport {
     /// Protocol label ("RMAC", "BMMM", …).
     pub protocol: String,
@@ -57,6 +55,12 @@ pub struct RunReport {
     pub events: u64,
     /// Simulated duration in seconds.
     pub sim_secs: f64,
+    /// Frames corrupted by the fault plane (0 without an injector).
+    pub faults_injected: u64,
+    /// Node crash events executed by the fault plane.
+    pub fault_crashes: u64,
+    /// Jamming bursts emitted by the fault plane.
+    pub fault_jam_bursts: u64,
 }
 
 impl RunReport {
@@ -76,9 +80,8 @@ impl RunReport {
         assert!(!reports.is_empty(), "average of zero reports");
         let n = reports.len() as f64;
         let mean = |f: &dyn Fn(&RunReport) -> f64| reports.iter().map(f).sum::<f64>() / n;
-        let maxf = |f: &dyn Fn(&RunReport) -> f64| {
-            reports.iter().map(f).fold(f64::NEG_INFINITY, f64::max)
-        };
+        let maxf =
+            |f: &dyn Fn(&RunReport) -> f64| reports.iter().map(f).fold(f64::NEG_INFINITY, f64::max);
         let sum_u = |f: &dyn Fn(&RunReport) -> u64| reports.iter().map(f).sum::<u64>();
         RunReport {
             protocol: reports[0].protocol.clone(),
@@ -106,6 +109,9 @@ impl RunReport {
             children_p99: mean(&|r| r.children_p99),
             events: sum_u(&|r| r.events),
             sim_secs: mean(&|r| r.sim_secs),
+            faults_injected: sum_u(&|r| r.faults_injected),
+            fault_crashes: sum_u(&|r| r.fault_crashes),
+            fault_jam_bursts: sum_u(&|r| r.fault_jam_bursts),
         }
     }
 }
@@ -113,7 +119,7 @@ impl RunReport {
 /// Cross-replication dispersion of the headline metrics, reported next to
 /// the averaged point (the paper plots bare means over its ten
 /// placements; the dispersion quantifies how stable those means are).
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Dispersion {
     /// Number of replications pooled.
     pub n: usize,

@@ -296,7 +296,10 @@ mod tests {
         assert!((mid.x - 50.0).abs() < 1e-9 && mid.y == 0.0);
         // After arrival: parked at the destination forever.
         assert_eq!(m.position_at(SimTime::from_secs(25)), Pos::new(100.0, 0.0));
-        assert_eq!(m.position_at(SimTime::from_secs(9999)), Pos::new(100.0, 0.0));
+        assert_eq!(
+            m.position_at(SimTime::from_secs(9999)),
+            Pos::new(100.0, 0.0)
+        );
     }
 
     #[test]

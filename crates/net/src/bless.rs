@@ -95,7 +95,8 @@ impl BlessState {
     /// emitting a beacon and after receiving one.
     pub fn reselect(&mut self, now: SimTime) {
         let fresh_after = now.saturating_sub(self.cfg.freshness);
-        self.neighbors.retain(|_, info| info.last_seen >= fresh_after);
+        self.neighbors
+            .retain(|_, info| info.last_seen >= fresh_after);
         if self.is_root() {
             self.hops = 0;
             self.parent = None;

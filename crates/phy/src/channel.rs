@@ -13,6 +13,23 @@ use crate::tone::{ActiveWatch, Tone, ToneLog};
 /// Identifier of one transmission on the data channel.
 pub type TxId = u64;
 
+/// A fault plane consulted at the frame-corruption decision point.
+///
+/// The hook is asked about every frame end that the channel's own model
+/// (collisions, capture, mobility, BER) has decided is healthy; returning
+/// `true` corrupts the frame anyway. Implementations live outside this
+/// crate (see `rmac-faults`) so the channel stays fault-agnostic, and they
+/// must draw any randomness from their *own* generator: the channel's RNG
+/// is never passed in, which is what keeps a run with an inert hook
+/// bit-identical to a run with no hook at all.
+pub trait FaultHook: Send {
+    /// Should this otherwise-healthy frame from `src` to `rx` be corrupted?
+    fn corrupt_rx(&mut self, now: SimTime, src: NodeId, rx: NodeId, frame: &Frame) -> bool;
+
+    /// How many frames this hook has corrupted so far.
+    fn injected(&self) -> u64;
+}
+
 /// Static channel parameters.
 #[derive(Clone, Copy, Debug)]
 pub struct ChannelConfig {
@@ -113,6 +130,7 @@ pub struct Channel {
     tones: HashMap<u64, ToneEmission>,
     next_tx: TxId,
     next_emit: u64,
+    fault_hook: Option<Box<dyn FaultHook>>,
 }
 
 impl Channel {
@@ -127,7 +145,18 @@ impl Channel {
             tones: HashMap::new(),
             next_tx: 0,
             next_emit: 0,
+            fault_hook: None,
         }
+    }
+
+    /// Attach a fault plane; see [`FaultHook`].
+    pub fn set_fault_hook(&mut self, hook: Box<dyn FaultHook>) {
+        self.fault_hook = Some(hook);
+    }
+
+    /// Frames corrupted by the attached fault hook so far (0 without one).
+    pub fn faults_injected(&self) -> u64 {
+        self.fault_hook.as_ref().map_or(0, |h| h.injected())
     }
 
     /// Number of nodes sharing the channel.
@@ -206,7 +235,10 @@ impl Channel {
         let receivers = self.in_range_receivers(src, now);
         let end = now + frame.airtime();
         for &(rx, prop, _) in &receivers {
-            q.push(now + prop, E::from(PhyEvent::FrameArriveStart { rx, tx: id }));
+            q.push(
+                now + prop,
+                E::from(PhyEvent::FrameArriveStart { rx, tx: id }),
+            );
             q.push(end + prop, E::from(PhyEvent::FrameArriveEnd { rx, tx: id }));
         }
         q.push(end, E::from(PhyEvent::TxComplete { node: src, tx: id }));
@@ -298,17 +330,15 @@ impl Channel {
     /// rising edge sense the falling edge (the audibility set is fixed at
     /// tone onset — tones are short relative to node motion). No-op if the
     /// tone is not raised.
-    pub fn stop_tone<E: From<PhyEvent>>(
-        &mut self,
-        q: &mut EventQueue<E>,
-        src: NodeId,
-        tone: Tone,
-    ) {
+    pub fn stop_tone<E: From<PhyEvent>>(&mut self, q: &mut EventQueue<E>, src: NodeId, tone: Tone) {
         let Some(id) = self.radios[src.idx()].emitting[tone.idx()].take() else {
             return;
         };
         let now = q.now();
-        let rec = self.tones.get_mut(&id).expect("emitting tone without record");
+        let rec = self
+            .tones
+            .get_mut(&id)
+            .expect("emitting tone without record");
         rec.stopped = true;
         rec.pending += rec.receivers.len();
         for &(rx, prop) in &rec.receivers.clone() {
@@ -388,7 +418,9 @@ impl Channel {
             PhyEvent::FrameArriveStart { rx, tx } => self.frame_start(rx, tx, out),
             PhyEvent::FrameArriveEnd { rx, tx } => self.frame_end(now, rng, rx, tx, out),
             PhyEvent::TxComplete { node, tx } => self.tx_complete(now, node, tx, out),
-            PhyEvent::ToneEdge { rx, tone, on, emit } => self.tone_edge(now, rx, tone, on, emit, out),
+            PhyEvent::ToneEdge { rx, tone, on, emit } => {
+                self.tone_edge(now, rx, tone, on, emit, out)
+            }
         }
     }
 
@@ -480,6 +512,13 @@ impl Channel {
             let p_ok = (1.0 - self.cfg.ber_per_bit).powf(bits);
             if !rng.chance(p_ok) {
                 corrupted = true;
+            }
+        }
+        if !corrupted {
+            if let Some(hook) = self.fault_hook.as_mut() {
+                if hook.corrupt_rx(now, src, rx, &frame) {
+                    corrupted = true;
+                }
             }
         }
 
@@ -631,9 +670,7 @@ mod tests {
         // A: TxDone at airtime, not aborted.
         let a = rx_events(&inds, n(0));
         assert_eq!(a.len(), 1);
-        assert!(
-            matches!(a[0], (t, Indication::TxDone { aborted: false, .. }) if *t == airtime)
-        );
+        assert!(matches!(a[0], (t, Indication::TxDone { aborted: false, .. }) if *t == airtime));
     }
 
     #[test]
@@ -660,7 +697,13 @@ mod tests {
         let mut q = Q::new();
         ch.start_tx(&mut q, n(0), data_frame(0, 100));
         // C starts 50 µs later, well inside A's frame.
-        q.push(SimTime::from_micros(50), PhyEvent::TxComplete { node: n(2), tx: 999_999 });
+        q.push(
+            SimTime::from_micros(50),
+            PhyEvent::TxComplete {
+                node: n(2),
+                tx: 999_999,
+            },
+        );
         // Drain manually so we can interleave the second start.
         let mut rng = SimRng::new(0);
         let mut out = Vec::new();
@@ -698,7 +741,13 @@ mod tests {
         let first_end = f.airtime() + SimTime::MICRO;
         ch.start_tx(&mut q, n(0), f);
         // C transmits strictly after A's signal has fully passed B.
-        q.push(first_end, PhyEvent::TxComplete { node: n(2), tx: 999_999 });
+        q.push(
+            first_end,
+            PhyEvent::TxComplete {
+                node: n(2),
+                tx: 999_999,
+            },
+        );
         let mut rng = SimRng::new(0);
         let mut out = Vec::new();
         let mut oks = Vec::new();
@@ -763,7 +812,13 @@ mod tests {
         let full = f.airtime();
         ch.start_tx(&mut q, n(0), f);
         // Schedule a sentinel to abort at 100 µs (long before `full`).
-        q.push(SimTime::from_micros(100), PhyEvent::TxComplete { node: n(0), tx: 999_999 });
+        q.push(
+            SimTime::from_micros(100),
+            PhyEvent::TxComplete {
+                node: n(0),
+                tx: 999_999,
+            },
+        );
         let mut rng = SimRng::new(0);
         let mut out = Vec::new();
         let mut got = Vec::new();
@@ -822,9 +877,7 @@ mod tests {
         let rx_at_b: Vec<(NodeId, bool)> = inds
             .iter()
             .filter_map(|(_, i)| match i {
-                Indication::FrameRx { node, ok, frame } if *node == n(1) => {
-                    Some((frame.src, *ok))
-                }
+                Indication::FrameRx { node, ok, frame } if *node == n(1) => Some((frame.src, *ok)),
                 _ => None,
             })
             .collect();
@@ -891,8 +944,20 @@ mod tests {
         ch.start_tone(&mut q, n(0), Tone::Rbt);
         ch.start_tone(&mut q, n(2), Tone::Rbt);
         // Stop them at different times via sentinels.
-        q.push(SimTime::from_micros(100), PhyEvent::TxComplete { node: n(0), tx: 111_111 });
-        q.push(SimTime::from_micros(200), PhyEvent::TxComplete { node: n(2), tx: 222_222 });
+        q.push(
+            SimTime::from_micros(100),
+            PhyEvent::TxComplete {
+                node: n(0),
+                tx: 111_111,
+            },
+        );
+        q.push(
+            SimTime::from_micros(200),
+            PhyEvent::TxComplete {
+                node: n(2),
+                tx: 222_222,
+            },
+        );
         let mut rng = SimRng::new(0);
         let mut out = Vec::new();
         let mut edges_at_b = Vec::new();
@@ -1005,7 +1070,12 @@ mod tests {
     fn neighbors_at_reflects_positions() {
         let mut ch = Channel::new(
             ChannelConfig::default(),
-            vec![still(0.0, 0.0), still(50.0, 0.0), still(100.0, 0.0), still(76.0, 0.0)],
+            vec![
+                still(0.0, 0.0),
+                still(50.0, 0.0),
+                still(100.0, 0.0),
+                still(76.0, 0.0),
+            ],
         );
         let nb = ch.neighbors_at(n(0), SimTime::ZERO);
         assert_eq!(nb, vec![n(1)]);
@@ -1079,9 +1149,9 @@ mod edge_tests {
         let mut q = Q::new();
         ch.start_tx(&mut q, n(0), data_frame(0, 50));
         let inds = drain(&mut ch, &mut q);
-        let ok = inds.iter().any(|(_, i)| {
-            matches!(i, Indication::FrameRx { node, ok: true, .. } if *node == n(1))
-        });
+        let ok = inds
+            .iter()
+            .any(|(_, i)| matches!(i, Indication::FrameRx { node, ok: true, .. } if *node == n(1)));
         assert!(ok, "{inds:?}");
     }
 
@@ -1100,7 +1170,13 @@ mod edge_tests {
         let reopen_at = q.now();
         ch.open_watch(n(1), Tone::Rbt, reopen_at);
         // Hold the tone for 40 µs of virtual time before stopping it.
-        q.push(reopen_at + SimTime::from_micros(40), PhyEvent::TxComplete { node: n(0), tx: 424_242 });
+        q.push(
+            reopen_at + SimTime::from_micros(40),
+            PhyEvent::TxComplete {
+                node: n(0),
+                tx: 424_242,
+            },
+        );
         let mut rng = SimRng::new(0);
         let mut out = Vec::new();
         while let Some((t, ev)) = q.pop() {

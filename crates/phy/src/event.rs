@@ -38,7 +38,11 @@ pub enum Indication {
     /// A frame finished arriving at `node`. `ok` is false if the frame was
     /// corrupted by collision, half-duplex conflict, bit errors, or the
     /// node moving out of range mid-frame.
-    FrameRx { node: NodeId, frame: Frame, ok: bool },
+    FrameRx {
+        node: NodeId,
+        frame: Frame,
+        ok: bool,
+    },
     /// `node`'s own transmission left the antenna (or was aborted).
     TxDone {
         node: NodeId,

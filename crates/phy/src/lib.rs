@@ -30,6 +30,6 @@ pub mod channel;
 pub mod event;
 pub mod tone;
 
-pub use channel::{Channel, ChannelConfig, TxId};
+pub use channel::{Channel, ChannelConfig, FaultHook, TxId};
 pub use event::{Indication, PhyEvent};
 pub use tone::{Tone, ToneLog};

@@ -170,7 +170,14 @@ mod tests {
             0,
             200,
             false,
-            &[(10, true), (20, false), (50, true), (90, false), (100, true), (110, false)],
+            &[
+                (10, true),
+                (20, false),
+                (50, true),
+                (90, false),
+                (100, true),
+                (110, false),
+            ],
         );
         assert_eq!(l.max_on(), us(40));
         assert_eq!(l.max_on_within(us(0), us(40)), us(10));
@@ -206,12 +213,7 @@ mod tests {
         // the window [17, 34] µs after its own data end and must detect
         // ≥ 15 µs (λ) of tone.
         let prop = 1u64; // worst-case 1 µs round trip components
-        let l = log(
-            0,
-            3 * 17,
-            false,
-            &[(17 + prop, true), (34 + prop, false)],
-        );
+        let l = log(0, 3 * 17, false, &[(17 + prop, true), (34 + prop, false)]);
         assert!(l.detected_within(us(17), us(34), us(15)));
         assert!(!l.detected_within(us(0), us(17), us(15)));
         assert!(!l.detected_within(us(34), us(51), us(15)));

@@ -169,9 +169,6 @@ mod tests {
     fn display_forms() {
         assert_eq!(format!("{:?}", NodeId(7)), "n7");
         assert_eq!(NodeId(7).to_string(), "7");
-        assert_eq!(
-            format!("{:?}", NodeId(258).mac()),
-            "02:52:4d:00:01:02"
-        );
+        assert_eq!(format!("{:?}", NodeId(258).mac()), "02:52:4d:00:01:02");
     }
 }

@@ -88,7 +88,10 @@ mod tests {
     #[test]
     fn paper_quotes_ack_56us() {
         // 14 bytes at 2 Mb/s = 56 µs of serialization
-        assert_eq!(BYTE_TIME.mul(SHORT_CTRL_LEN as u64), SimTime::from_micros(56));
+        assert_eq!(
+            BYTE_TIME.mul(SHORT_CTRL_LEN as u64),
+            SimTime::from_micros(56)
+        );
     }
 
     #[test]

@@ -48,7 +48,10 @@ impl std::fmt::Display for CodecError {
         match self {
             CodecError::Truncated => write!(f, "frame truncated"),
             CodecError::BadFcs { expected, actual } => {
-                write!(f, "FCS mismatch: expected {expected:#010x}, got {actual:#010x}")
+                write!(
+                    f,
+                    "FCS mismatch: expected {expected:#010x}, got {actual:#010x}"
+                )
             }
             CodecError::UnknownKind(k) => write!(f, "unknown frame type {k}"),
             CodecError::BadAddress => write!(f, "unmappable address"),
@@ -138,11 +141,7 @@ pub fn encode(frame: &Frame) -> Bytes {
             put_addr(&mut buf, ra);
             put_addr(&mut buf, frame.src.mac());
         }
-        FrameKind::Cts
-        | FrameKind::Rak
-        | FrameKind::Ack
-        | FrameKind::Ncts
-        | FrameKind::Nak => {
+        FrameKind::Cts | FrameKind::Rak | FrameKind::Ack | FrameKind::Ncts | FrameKind::Nak => {
             // type(1) flags(1) dur(2) RA(6) FCS(4) = 14 bytes
             buf.put_u8(frame.kind as u8);
             buf.put_u8(0);
@@ -192,7 +191,9 @@ pub fn decode(data: &[u8], implicit_src: NodeId) -> Result<Frame, CodecError> {
             if body.len() < 8 {
                 return Err(CodecError::Truncated);
             }
-            let src = get_addr(&body[1..7]).node_id().ok_or(CodecError::BadAddress)?;
+            let src = get_addr(&body[1..7])
+                .node_id()
+                .ok_or(CodecError::BadAddress)?;
             let count = body[7] as usize;
             if count > MAX_MRTS_RECEIVERS {
                 return Err(CodecError::TooManyReceivers(count));
@@ -212,20 +213,22 @@ pub fn decode(data: &[u8], implicit_src: NodeId) -> Result<Frame, CodecError> {
                 return Err(CodecError::Truncated);
             }
             let nav = nav_from_wire(u16::from_be_bytes([body[2], body[3]]));
-            let ra = get_addr(&body[4..10]).node_id().ok_or(CodecError::BadAddress)?;
-            let ta = get_addr(&body[10..16]).node_id().ok_or(CodecError::BadAddress)?;
+            let ra = get_addr(&body[4..10])
+                .node_id()
+                .ok_or(CodecError::BadAddress)?;
+            let ta = get_addr(&body[10..16])
+                .node_id()
+                .ok_or(CodecError::BadAddress)?;
             Ok(Frame::control(FrameKind::Rts, ta, ra, nav))
         }
-        FrameKind::Cts
-        | FrameKind::Rak
-        | FrameKind::Ack
-        | FrameKind::Ncts
-        | FrameKind::Nak => {
+        FrameKind::Cts | FrameKind::Rak | FrameKind::Ack | FrameKind::Ncts | FrameKind::Nak => {
             if body.len() < 10 {
                 return Err(CodecError::Truncated);
             }
             let nav = nav_from_wire(u16::from_be_bytes([body[2], body[3]]));
-            let ra = get_addr(&body[4..10]).node_id().ok_or(CodecError::BadAddress)?;
+            let ra = get_addr(&body[4..10])
+                .node_id()
+                .ok_or(CodecError::BadAddress)?;
             Ok(Frame::control(kind, implicit_src, ra, nav))
         }
         FrameKind::DataReliable | FrameKind::DataUnreliable => {
@@ -234,7 +237,9 @@ pub fn decode(data: &[u8], implicit_src: NodeId) -> Result<Frame, CodecError> {
             }
             let group_flag = body[1] & 1 != 0;
             let seq = u32::from_be_bytes([body[2], body[3], body[4], body[5]]);
-            let src = get_addr(&body[6..12]).node_id().ok_or(CodecError::BadAddress)?;
+            let src = get_addr(&body[6..12])
+                .node_id()
+                .ok_or(CodecError::BadAddress)?;
             let dst_mac = get_addr(&body[12..18]);
             let payload = Bytes::copy_from_slice(&body[24..]);
             let dest = if let Some(n) = dst_mac.node_id() {
@@ -336,7 +341,10 @@ mod tests {
     fn truncated_frame_rejected() {
         let f = Frame::mrts(n(3), vec![n(1), n(2)]);
         let bytes = encode(&f);
-        assert!(matches!(decode(&bytes[..3], n(0)), Err(CodecError::Truncated)));
+        assert!(matches!(
+            decode(&bytes[..3], n(0)),
+            Err(CodecError::Truncated)
+        ));
     }
 
     #[test]

@@ -11,9 +11,7 @@ use rmac_sim::SimTime;
 
 use crate::addr::{Dest, NodeId};
 use crate::airtime::frame_airtime;
-use crate::consts::{
-    ADDR_LEN, DATA_HEADER_LEN, MRTS_FIXED_LEN, RTS_LEN, SHORT_CTRL_LEN,
-};
+use crate::consts::{ADDR_LEN, DATA_HEADER_LEN, MRTS_FIXED_LEN, RTS_LEN, SHORT_CTRL_LEN};
 
 /// Frame type discriminator (the paper's 1-byte "Frame Type" field).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -138,11 +136,9 @@ impl Frame {
         match self.kind {
             FrameKind::Mrts => MRTS_FIXED_LEN + ADDR_LEN * self.order.len(),
             FrameKind::Rts => RTS_LEN,
-            FrameKind::Cts
-            | FrameKind::Rak
-            | FrameKind::Ack
-            | FrameKind::Ncts
-            | FrameKind::Nak => SHORT_CTRL_LEN,
+            FrameKind::Cts | FrameKind::Rak | FrameKind::Ack | FrameKind::Ncts | FrameKind::Nak => {
+                SHORT_CTRL_LEN
+            }
             FrameKind::DataReliable | FrameKind::DataUnreliable => {
                 DATA_HEADER_LEN + self.payload.len()
             }

@@ -11,8 +11,7 @@
 //! cargo run --release --example fig4_timeline
 //! ```
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use rmac::engine::{Runner, TraceEvent};
 use rmac::mobility::Pos;
@@ -23,23 +22,28 @@ fn main() {
     let cfg = ScenarioConfig::paper_stationary(5.0)
         .with_packets(1)
         .with_positions(vec![
-            Pos::new(0.0, 0.0),   // node 0: sender (tree root)
-            Pos::new(50.0, 0.0),  // node 1: receiver B
-            Pos::new(0.0, 50.0),  // node 2: receiver C
+            Pos::new(0.0, 0.0),  // node 0: sender (tree root)
+            Pos::new(50.0, 0.0), // node 1: receiver B
+            Pos::new(0.0, 50.0), // node 2: receiver C
         ]);
 
-    let events: Rc<RefCell<Vec<TraceEvent>>> = Rc::default();
+    let events: Arc<Mutex<Vec<TraceEvent>>> = Arc::default();
     let sink = events.clone();
     let mut runner = Runner::new(&cfg, Protocol::Rmac, 3);
-    runner.set_tracer(Box::new(move |e| sink.borrow_mut().push(e.clone())));
+    runner.set_tracer(Box::new(move |e| sink.lock().unwrap().push(e.clone())));
     let report = runner.run(3);
 
     // Show the window around the one application packet: from its
     // submission at the source to the last tone edge of the exchange.
-    let events = events.borrow();
+    let events = events.lock().unwrap();
     let start = events
         .iter()
-        .position(|e| matches!(e.what, rmac::engine::TraceWhat::Submit { reliable: true, .. }))
+        .position(|e| {
+            matches!(
+                e.what,
+                rmac::engine::TraceWhat::Submit { reliable: true, .. }
+            )
+        })
         .expect("the source submitted its packet");
     println!("Fig. 4 — Procedure of the Reliable Send Service (executed)\n");
     println!("sender n0, receivers n1 (slot 0) and n2 (slot 1).");

@@ -31,7 +31,10 @@ fn chain(rate: f64) -> ScenarioConfig {
 
 fn main() {
     println!("hidden-terminal chain A-B-C-D, 400 packets\n");
-    println!("{:>8}  {:>12} {:>9} {:>9}   {:>12} {:>9} {:>9}", "", "RMAC", "", "", "RMAC-noRBT", "", "");
+    println!(
+        "{:>8}  {:>12} {:>9} {:>9}   {:>12} {:>9} {:>9}",
+        "", "RMAC", "", "", "RMAC-noRBT", "", ""
+    );
     println!(
         "{:>8}  {:>12} {:>9} {:>9}   {:>12} {:>9} {:>9}",
         "rate", "delivery", "retx", "drop", "delivery", "retx", "drop"

@@ -17,19 +17,31 @@ fn main() {
 
     let report = run_replication(&cfg, Protocol::Rmac, 42);
 
-    println!("RMAC quickstart — {} nodes, {} packets at {} pkt/s", 20, 200, 20);
+    println!(
+        "RMAC quickstart — {} nodes, {} packets at {} pkt/s",
+        20, 200, 20
+    );
     println!("  packet delivery ratio : {:.4}", report.delivery_ratio());
     println!("  avg drop ratio        : {:.4}", report.drop_ratio_avg);
     println!("  avg retransmissions   : {:.4}", report.retx_ratio_avg);
     println!("  avg overhead ratio    : {:.4}", report.txoh_ratio_avg);
-    println!("  avg end-to-end delay  : {:.2} ms", report.e2e_delay_avg_s * 1e3);
+    println!(
+        "  avg end-to-end delay  : {:.2} ms",
+        report.e2e_delay_avg_s * 1e3
+    );
     println!("  avg MRTS length       : {:.1} bytes", report.mrts_len_avg);
-    println!("  simulated             : {:.1} s ({} events)", report.sim_secs, report.events);
+    println!(
+        "  simulated             : {:.1} s ({} events)",
+        report.sim_secs, report.events
+    );
 
     // The same network under BMMM, for contrast.
     let bmmm = run_replication(&cfg, Protocol::Bmmm, 42);
     println!("\nBMMM on the identical placement:");
     println!("  packet delivery ratio : {:.4}", bmmm.delivery_ratio());
     println!("  avg overhead ratio    : {:.4}", bmmm.txoh_ratio_avg);
-    println!("  avg end-to-end delay  : {:.2} ms", bmmm.e2e_delay_avg_s * 1e3);
+    println!(
+        "  avg end-to-end delay  : {:.2} ms",
+        bmmm.e2e_delay_avg_s * 1e3
+    );
 }

@@ -21,6 +21,7 @@
 pub use rmac_baselines as baselines;
 pub use rmac_core as mac;
 pub use rmac_engine as engine;
+pub use rmac_faults as faults;
 pub use rmac_metrics as metrics;
 pub use rmac_mobility as mobility;
 pub use rmac_net as net;
@@ -30,7 +31,8 @@ pub use rmac_wire as wire;
 
 /// Commonly used items for driving simulations.
 pub mod prelude {
-    pub use rmac_engine::{run_replication, Protocol, ScenarioConfig};
+    pub use rmac_engine::{run_replication, run_replication_with_faults, Protocol, ScenarioConfig};
+    pub use rmac_faults::FaultPlan;
     pub use rmac_metrics::report::RunReport;
     pub use rmac_sim::{SimRng, SimTime};
     pub use rmac_wire::addr::NodeId;

@@ -89,14 +89,23 @@ fn config_for(args: &Args) -> Result<ScenarioConfig, String> {
 }
 
 fn print_report(r: &rmac::metrics::RunReport) {
-    println!("{} on {} @ {} pkt/s (seed {})", r.protocol, r.scenario, r.rate_pps, r.seed);
+    println!(
+        "{} on {} @ {} pkt/s (seed {})",
+        r.protocol, r.scenario, r.rate_pps, r.seed
+    );
     println!("  delivery ratio : {:.4}", r.delivery_ratio());
     println!("  drop ratio     : {:.4}", r.drop_ratio_avg);
     println!("  retransmission : {:.4}", r.retx_ratio_avg);
     println!("  overhead ratio : {:.4}", r.txoh_ratio_avg);
     println!("  e2e delay      : {:.2} ms", r.e2e_delay_avg_s * 1e3);
-    println!("  tree           : hops {:.2}, children {:.2}", r.hops_avg, r.children_avg);
-    println!("  simulated      : {:.1} s, {} events", r.sim_secs, r.events);
+    println!(
+        "  tree           : hops {:.2}, children {:.2}",
+        r.hops_avg, r.children_avg
+    );
+    println!(
+        "  simulated      : {:.1} s, {} events",
+        r.sim_secs, r.events
+    );
 }
 
 fn cmd_run(rest: &[String]) -> Result<(), String> {

@@ -1,0 +1,183 @@
+//! Offline drop-in subset of the `criterion` crate.
+//!
+//! The build container has no network access, so the workspace vendors
+//! just the harness surface its benches use: `criterion_group!` /
+//! `criterion_main!`, benchmark groups with `sample_size` / `throughput`,
+//! and `Bencher::{iter, iter_with_setup}`. Instead of criterion's
+//! statistical engine, this shim times `sample_size` iterations (after one
+//! warm-up) and prints min/mean per-iteration wall time — enough to read
+//! relative movement between protocols, which is all the figure benches
+//! report.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Declared throughput of one iteration, echoed in the report line.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Logical elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("group {name}");
+        BenchmarkGroup {
+            samples: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup {
+    samples: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Set how many timed iterations each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Declare per-iteration throughput for the report line.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Time one benchmark routine.
+    pub fn bench_function<F>(&mut self, id: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.samples,
+            times: Vec::new(),
+        };
+        routine(&mut b);
+        let (min, mean) = b.stats();
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+                format!("  ({:.0} elem/s)", n as f64 / mean.as_secs_f64())
+            }
+            Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
+                format!(
+                    "  ({:.1} MiB/s)",
+                    n as f64 / mean.as_secs_f64() / (1 << 20) as f64
+                )
+            }
+            _ => String::new(),
+        };
+        println!("  {id:<28} min {min:>12.3?}  mean {mean:>12.3?}{rate}");
+        self
+    }
+
+    /// Close the group (upstream flushes reports here; the shim prints
+    /// eagerly, so this is a no-op kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Times the body the caller hands it.
+pub struct Bencher {
+    samples: usize,
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `body` for the group's sample count (plus one warm-up).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut body: F) {
+        black_box(body());
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(body());
+            self.times.push(t0.elapsed());
+        }
+    }
+
+    /// Like [`Bencher::iter`], but excludes `setup` from the timing.
+    pub fn iter_with_setup<I, R, S, F>(&mut self, mut setup: S, mut body: F)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        black_box(body(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(body(input));
+            self.times.push(t0.elapsed());
+        }
+    }
+
+    fn stats(&self) -> (Duration, Duration) {
+        if self.times.is_empty() {
+            return (Duration::ZERO, Duration::ZERO);
+        }
+        let min = self.times.iter().min().copied().unwrap_or(Duration::ZERO);
+        let total: Duration = self.times.iter().sum();
+        (min, total / self.times.len() as u32)
+    }
+}
+
+/// Bundle benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_records() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        let mut runs = 0u32;
+        g.bench_function("count", |b| b.iter(|| runs += 1));
+        // one warm-up + three samples
+        assert_eq!(runs, 4);
+        g.finish();
+    }
+
+    #[test]
+    fn iter_with_setup_separates_setup() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim2");
+        g.sample_size(2).throughput(Throughput::Elements(10));
+        let mut total = 0usize;
+        g.bench_function("sum", |b| {
+            b.iter_with_setup(|| vec![1usize, 2, 3], |v| total += v.iter().sum::<usize>())
+        });
+        assert_eq!(total, 6 * 3);
+    }
+}

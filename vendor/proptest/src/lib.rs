@@ -1,0 +1,188 @@
+//! Offline drop-in subset of the `proptest` crate.
+//!
+//! The build container has no network access, so the workspace vendors the
+//! property-testing surface its tests use: the [`Strategy`] trait over
+//! ranges / tuples / `Just` / `prop_map` / `prop_oneof!` / `any` /
+//! `collection::vec`, plus the `proptest!`, `prop_assert!` and
+//! `prop_assert_eq!` macros and `ProptestConfig::with_cases`.
+//!
+//! Unlike upstream there is no shrinking: each test runs `cases` inputs
+//! drawn from a generator seeded deterministically from the test's module
+//! path and case index, so failures reproduce bit-identically from run to
+//! run (report the printed case number to replay under a debugger).
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `proptest::collection` — strategies for collections.
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// A strategy producing `Vec`s of `element` with a length drawn from
+    /// `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// The workspace-facing prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Fail the current proptest case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fail the current proptest case unless the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(left == right, $($fmt)+);
+    }};
+}
+
+/// Fail the current proptest case if the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            left
+        );
+    }};
+}
+
+/// Choose uniformly between several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Define `#[test]` functions whose arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat_param in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                $(let $arg = $crate::strategy::Strategy::generate(&$strategy, &mut __rng);)+
+                #[allow(clippy::redundant_closure_call)]
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = __outcome {
+                    panic!("proptest {} case {} failed: {}", stringify!($name), __case, e);
+                }
+            }
+        }
+        $crate::__proptest_items!(($config) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(a in 3u64..10, b in 1u8..=4, n in 0usize..7) {
+            prop_assert!((3..10).contains(&a));
+            prop_assert!((1..=4).contains(&b));
+            prop_assert!(n < 7);
+        }
+
+        #[test]
+        fn vec_sizes(v in crate::collection::vec(0u32..5, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            for x in v {
+                prop_assert!(x < 5);
+            }
+        }
+
+        #[test]
+        fn tuples_and_map((x, y) in (0u64..10, 0u64..10).prop_map(|(a, b)| (a, a + b))) {
+            prop_assert!(y >= x);
+            prop_assert_eq!(x, x);
+        }
+
+        #[test]
+        fn oneof_covers(choice in prop_oneof![Just(1u8), Just(2u8)]) {
+            prop_assert!(choice == 1 || choice == 2);
+        }
+
+        #[test]
+        fn any_values(b in any::<bool>(), w in any::<u16>()) {
+            let _ = (b, w);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::strategy::Strategy;
+        let s = crate::collection::vec(0u64..1000, 1..50);
+        let mut r1 = crate::test_runner::TestRng::for_case("x", 7);
+        let mut r2 = crate::test_runner::TestRng::for_case("x", 7);
+        assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+    }
+}
