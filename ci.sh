@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Local CI gate — the same three checks .github/workflows/ci.yml runs.
+# Local CI gate — the same four checks .github/workflows/ci.yml runs.
 # All dependencies are vendored (vendor/*), so this works fully offline.
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -12,5 +12,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
+
+echo "==> cargo bench -q --workspace -- --test (smoke: one unmeasured run per bench)"
+cargo bench -q --workspace -- --test
 
 echo "CI green."

@@ -1,0 +1,109 @@
+//! Dense-channel throughput: the PHY hot path (range queries, frame
+//! fan-out, tone edges) at 50 / 200 / 500 nodes, grid index vs the
+//! brute-force O(N) scan. This is the bench behind the spatial-index
+//! perf budget: the grid must win at every scale while producing the
+//! exact same event stream (asserted once per scale outside the timed
+//! closures).
+
+use bytes::Bytes;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rmac_mobility::{Motion, Pos};
+use rmac_phy::{Channel, ChannelConfig, IndexMode, PhyEvent, Tone};
+use rmac_sim::{EventQueue, SimRng, SimTime};
+use rmac_wire::{Dest, Frame, NodeId};
+
+/// Paper-density node placement: the 500 m × 300 m plane holds 75 nodes,
+/// so the plane area scales linearly with the node count.
+fn motions(nodes: usize) -> Vec<Motion> {
+    let scale = (nodes as f64 / 75.0).sqrt();
+    let (w, h) = (500.0 * scale, 300.0 * scale);
+    let mut rng = SimRng::new(7);
+    (0..nodes)
+        .map(|_| Motion::stationary(Pos::new(rng.unit_f64() * w, rng.unit_f64() * h)))
+        .collect()
+}
+
+/// Mixed data + tone workload: per round, every 8th node transmits a data
+/// frame and every 5th raises then drops a busy tone; the queue drains to
+/// completion between rounds. Returns the popped event count so callers
+/// can sanity-check grid/brute equivalence.
+fn churn(index: IndexMode, motions: Vec<Motion>, rounds: u64) -> u64 {
+    let nodes = motions.len();
+    let cfg = ChannelConfig {
+        index,
+        ..ChannelConfig::default()
+    };
+    let mut ch = Channel::new(cfg, motions);
+    let mut q = EventQueue::<PhyEvent>::new();
+    let mut rng = SimRng::new(1);
+    let mut out = Vec::new();
+    let mut popped = 0u64;
+    for round in 0..rounds {
+        // A sentinel the channel ignores (unknown tx id) advances the
+        // clock to this round's start before scheduling on it.
+        q.push(
+            SimTime::from_millis((round + 1) * 5),
+            PhyEvent::TxComplete {
+                node: NodeId(0),
+                tx: u64::MAX,
+            },
+        );
+        while let Some((t, ev)) = q.pop() {
+            popped += 1;
+            out.clear();
+            ch.handle(t, &mut rng, &ev, &mut out);
+            black_box(&out);
+        }
+        for i in (0..nodes).step_by(8) {
+            let src = NodeId(i as u16);
+            let f = Frame::data_unreliable(
+                src,
+                Dest::Broadcast,
+                Bytes::from(vec![0u8; 500]),
+                round as u32,
+            );
+            ch.start_tx(&mut q, src, f);
+        }
+        for i in (0..nodes).step_by(5) {
+            ch.start_tone(&mut q, NodeId(i as u16), Tone::Rbt);
+            ch.stop_tone(&mut q, NodeId(i as u16), Tone::Rbt);
+        }
+        while let Some((t, ev)) = q.pop() {
+            popped += 1;
+            out.clear();
+            ch.handle(t, &mut rng, &ev, &mut out);
+            black_box(&out);
+        }
+    }
+    popped
+}
+
+fn bench_channel_dense(c: &mut Criterion) {
+    for &nodes in &[50usize, 200, 500] {
+        // Equivalence gate (outside the timed closures): the grid must
+        // produce the same number of PHY events as the brute-force scan.
+        let g = churn(IndexMode::grid(), motions(nodes), 2);
+        let b = churn(IndexMode::BruteForce, motions(nodes), 2);
+        assert_eq!(g, b, "grid/brute event divergence at {nodes} nodes");
+
+        let mut group = c.benchmark_group(&format!("channel_dense/{nodes}"));
+        group.sample_size(if nodes >= 500 { 10 } else { 20 });
+        group.throughput(Throughput::Elements(g));
+        group.bench_function("grid", |bch| {
+            bch.iter_with_setup(
+                || motions(nodes),
+                |m| black_box(churn(IndexMode::grid(), m, 2)),
+            )
+        });
+        group.bench_function("brute", |bch| {
+            bch.iter_with_setup(
+                || motions(nodes),
+                |m| black_box(churn(IndexMode::BruteForce, m, 2)),
+            )
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_channel_dense);
+criterion_main!(benches);

@@ -98,6 +98,11 @@ pub struct ScenarioConfig {
     /// Unreliable Send service (one broadcast per hop, no recovery) — the
     /// paper's §1 motivation strawman.
     pub reliable_forwarding: bool,
+    /// Answer PHY range queries through the spatial grid index (default).
+    /// The grid is bit-identical to the brute-force scan (enforced by
+    /// `tests/grid_equivalence.rs`); disabling it exists for A/B
+    /// benchmarking and as a diagnostic escape hatch.
+    pub phy_grid: bool,
 }
 
 impl ScenarioConfig {
@@ -124,6 +129,7 @@ impl ScenarioConfig {
             mac: MacConfig::default(),
             positions: None,
             reliable_forwarding: true,
+            phy_grid: true,
         }
     }
 
@@ -176,6 +182,13 @@ impl ScenarioConfig {
     /// Forward application packets unreliably (the §1 strawman).
     pub fn with_unreliable_forwarding(mut self) -> Self {
         self.reliable_forwarding = false;
+        self
+    }
+
+    /// Answer PHY range queries with the brute-force O(N) scan instead of
+    /// the spatial grid (A/B benchmarking; results are bit-identical).
+    pub fn with_brute_force_phy(mut self) -> Self {
+        self.phy_grid = false;
         self
     }
 

@@ -6,7 +6,7 @@ use rmac_faults::{ChurnKind, FaultInjector, FaultPlan, JamTarget};
 use rmac_metrics::{percentile, RunReport};
 use rmac_mobility::{random_positions, MobilityKind, Motion, Pos};
 use rmac_net::{BlessConfig, NetLayer};
-use rmac_phy::{Channel, ChannelConfig, Indication, PhyEvent, Tone, ToneLog};
+use rmac_phy::{Channel, ChannelConfig, IndexMode, Indication, PhyEvent, Tone, ToneLog};
 use rmac_sim::{EventQueue, SimRng, SimTime};
 use rmac_wire::{consts::BYTE_TIME, Dest, Frame, NodeId};
 
@@ -88,7 +88,10 @@ impl WorldCore {
 struct Ctx<'a> {
     core: &'a mut WorldCore,
     node: NodeId,
-    neighbors: Vec<NodeId>,
+    /// The node's network layer, for on-demand neighbor queries. Most MAC
+    /// callbacks never ask, so the (alloc + sort) of a fresh-neighbor
+    /// snapshot is paid only when [`MacContext::neighbors`] is called.
+    net: &'a NetLayer,
     delivered: &'a mut Vec<Frame>,
     outcomes: &'a mut Vec<(u64, TxOutcome)>,
 }
@@ -150,7 +153,7 @@ impl MacContext for Ctx<'_> {
         self.outcomes.push((token, outcome));
     }
     fn neighbors(&mut self) -> Vec<NodeId> {
-        self.neighbors.clone()
+        self.net.fresh_neighbors(self.core.q.now())
     }
     fn rng(&mut self) -> &mut SimRng {
         &mut self.core.rngs[self.node.idx()]
@@ -180,6 +183,9 @@ pub struct Runner {
     sched_rng: SimRng,
     tracer: Option<Tracer>,
     faults: Option<FaultRt>,
+    /// Reused indication buffer for PHY dispatch (the event loop's hottest
+    /// allocation without it).
+    inds_scratch: Vec<Indication>,
 }
 
 impl Runner {
@@ -220,10 +226,16 @@ impl Runner {
         for j in &plan.jammers {
             motions.push(Motion::stationary(Pos { x: j.x, y: j.y }));
         }
+        let node_slots = motions.len();
         let mut channel = Channel::new(
             ChannelConfig {
                 range_m: cfg.range_m,
                 ber_per_bit: cfg.ber_per_bit,
+                index: if cfg.phy_grid {
+                    IndexMode::grid()
+                } else {
+                    IndexMode::BruteForce
+                },
                 ..ChannelConfig::default()
             },
             motions,
@@ -255,9 +267,14 @@ impl Runner {
                 skew[s.node as usize] = 1.0 + s.ppm * 1e-6;
             }
         }
+        // Pre-size the event heap from the scenario scale: each in-flight
+        // transmission holds ~2 events per in-range receiver, plus MAC
+        // timers and beacons per node. 64 slots per node slot covers dense
+        // contention rounds without reallocating mid-replication.
+        let queue_capacity = (node_slots * 64).max(4096);
         Runner {
             core: WorldCore {
-                q: EventQueue::with_capacity(4096),
+                q: EventQueue::with_capacity(queue_capacity),
                 channel,
                 chan_rng: master.split(2),
                 rngs,
@@ -283,6 +300,7 @@ impl Runner {
                     jam_seq: 0,
                 })
             },
+            inds_scratch: Vec::new(),
         }
     }
 
@@ -393,13 +411,15 @@ impl Runner {
         match ev {
             Ev::Phy(pe) => {
                 let now = self.core.q.now();
-                let mut inds = Vec::new();
+                let mut inds = std::mem::take(&mut self.inds_scratch);
+                inds.clear();
                 self.core
                     .channel
                     .handle(now, &mut self.core.chan_rng, &pe, &mut inds);
-                for ind in inds {
+                for ind in inds.drain(..) {
                     self.indicate(&ind);
                 }
+                self.inds_scratch = inds;
             }
             Ev::MacTimer {
                 node,
@@ -414,11 +434,10 @@ impl Runner {
                 }
                 let mut delivered = Vec::new();
                 let mut outcomes = Vec::new();
-                let neighbors = self.nets[node.idx()].fresh_neighbors(self.core.q.now());
                 let mut ctx = Ctx {
                     core: &mut self.core,
                     node,
-                    neighbors,
+                    net: &self.nets[node.idx()],
                     delivered: &mut delivered,
                     outcomes: &mut outcomes,
                 };
@@ -595,11 +614,10 @@ impl Runner {
         self.trace_indication(ind);
         let mut delivered = Vec::new();
         let mut outcomes = Vec::new();
-        let neighbors = self.nets[node.idx()].fresh_neighbors(self.core.q.now());
         let mut ctx = Ctx {
             core: &mut self.core,
             node,
-            neighbors,
+            net: &self.nets[node.idx()],
             delivered: &mut delivered,
             outcomes: &mut outcomes,
         };
@@ -650,11 +668,10 @@ impl Runner {
         }
         let mut delivered = Vec::new();
         let mut outcomes = Vec::new();
-        let neighbors = self.nets[node.idx()].fresh_neighbors(self.core.q.now());
         let mut ctx = Ctx {
             core: &mut self.core,
             node,
-            neighbors,
+            net: &self.nets[node.idx()],
             delivered: &mut delivered,
             outcomes: &mut outcomes,
         };

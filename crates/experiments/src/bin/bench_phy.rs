@@ -1,0 +1,113 @@
+//! Tracked PHY perf baseline: full dense replications at increasing node
+//! counts, spatial grid index vs the brute-force O(N) scan, emitted as
+//! `results/BENCH_phy.json` (nodes vs wall-clock, events/second, and the
+//! grid/brute speedup). Every pair is also checked for bit-identical
+//! `RunReport`s — the grid's determinism contract, asserted at full
+//! replication scale on every baseline refresh.
+//!
+//! Scaled by `RMAC_PACKETS` (default 150) and `RMAC_REPS` (wall-clock
+//! repetitions per cell, minimum taken; default 2).
+
+use std::time::Instant;
+
+use rmac_engine::{run_replication, Protocol, ScenarioConfig};
+use rmac_metrics::RunReport;
+use rmac_mobility::Bounds;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Keep the paper's node density as the count grows (75 nodes per
+/// 500 m × 300 m), so bigger networks stay connected and comparably dense.
+fn scaled(nodes: usize, packets: u64) -> ScenarioConfig {
+    let scale = (nodes as f64 / 75.0).sqrt();
+    let mut cfg = ScenarioConfig::paper_stationary(20.0)
+        .with_nodes(nodes)
+        .with_packets(packets);
+    cfg.bounds = Bounds::new(500.0 * scale, 300.0 * scale);
+    cfg
+}
+
+/// Wall-clock one configuration: best of `reps` runs, plus the report.
+fn measure(cfg: &ScenarioConfig, seed: u64, reps: u64) -> (f64, RunReport) {
+    let mut best = f64::INFINITY;
+    let mut report = None;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let r = run_replication(cfg, Protocol::Rmac, seed);
+        best = best.min(start.elapsed().as_secs_f64());
+        report = Some(r);
+    }
+    (best, report.unwrap())
+}
+
+fn main() {
+    let packets = env_u64("RMAC_PACKETS", 150);
+    let reps = env_u64("RMAC_REPS", 2);
+    let seed = 1;
+
+    let mut rows = Vec::new();
+    eprintln!("PHY baseline: grid vs brute-force, {packets} packets, best of {reps}");
+    for &nodes in &[50usize, 200, 500] {
+        let cfg = scaled(nodes, packets);
+        let (grid_s, grid_report) = measure(&cfg, seed, reps);
+        let (brute_s, brute_report) = measure(&cfg.clone().with_brute_force_phy(), seed, reps);
+        // The determinism contract at full replication scale: the grid
+        // must not change a single metric.
+        assert_eq!(
+            grid_report, brute_report,
+            "grid vs brute RunReport divergence at {nodes} nodes"
+        );
+        let speedup = brute_s / grid_s;
+        eprintln!(
+            "  {nodes:>4} nodes: grid {grid_s:>7.3} s  brute {brute_s:>7.3} s  \
+             speedup {speedup:>5.2}x  ({:.0} ev/s grid)",
+            grid_report.events as f64 / grid_s
+        );
+        rows.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"nodes\": {},\n",
+                "      \"events\": {},\n",
+                "      \"grid_wall_s\": {:.6},\n",
+                "      \"brute_wall_s\": {:.6},\n",
+                "      \"speedup\": {:.3},\n",
+                "      \"grid_events_per_s\": {:.0},\n",
+                "      \"brute_events_per_s\": {:.0},\n",
+                "      \"bit_identical\": true\n",
+                "    }}"
+            ),
+            nodes,
+            grid_report.events,
+            grid_s,
+            brute_s,
+            speedup,
+            grid_report.events as f64 / grid_s,
+            brute_report.events as f64 / brute_s,
+        ));
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"phy_spatial_index\",\n",
+            "  \"scenario\": \"stationary, paper density, 20 pkt/s\",\n",
+            "  \"packets\": {},\n",
+            "  \"reps\": {},\n",
+            "  \"seed\": {},\n",
+            "  \"rows\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        packets,
+        reps,
+        seed,
+        rows.join(",\n")
+    );
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/BENCH_phy.json", &json).expect("write BENCH_phy.json");
+    eprintln!("wrote results/BENCH_phy.json");
+}

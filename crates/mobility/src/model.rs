@@ -167,6 +167,47 @@ impl Motion {
         }
     }
 
+    /// An upper bound on the node's speed (m/s) at the current time *and*
+    /// every future time. Spatial indexes use this to bound how far a node
+    /// can drift between lazy re-bucketing passes.
+    ///
+    /// * Random-waypoint nodes are bounded by their configured `max_speed`
+    ///   (legs are drawn in `[min_speed, max_speed]`, floored at the
+    ///   effective minimum).
+    /// * Scripted motions ([`Motion::linear`]) are bounded by the speed of
+    ///   the leg in progress — once parked they never move again.
+    /// * Purely stationary nodes report `0.0`, which marks them as
+    ///   index-once-and-forget.
+    pub fn speed_bound(&self) -> f64 {
+        let phase_speed = match self.phase {
+            Phase::Still { .. } => 0.0,
+            Phase::Moving {
+                from,
+                to,
+                start,
+                arrive,
+            } => {
+                let secs = (arrive.saturating_sub(start)).as_secs_f64();
+                if secs > 0.0 {
+                    from.dist(to) / secs
+                } else {
+                    0.0
+                }
+            }
+        };
+        let kind_speed = match self.kind {
+            MobilityKind::Stationary => 0.0,
+            MobilityKind::RandomWaypoint { max_speed, .. } => max_speed.max(MIN_EFFECTIVE_SPEED),
+        };
+        phase_speed.max(kind_speed)
+    }
+
+    /// Whether this node is guaranteed never to move again (its
+    /// [`Motion::speed_bound`] is zero).
+    pub fn is_fixed(&self) -> bool {
+        self.speed_bound() == 0.0
+    }
+
     /// Whether the node is currently between waypoints (used in tests and
     /// diagnostics).
     pub fn is_moving_at(&mut self, t: SimTime) -> bool {
@@ -300,6 +341,38 @@ mod tests {
             m.position_at(SimTime::from_secs(9999)),
             Pos::new(100.0, 0.0)
         );
+    }
+
+    #[test]
+    fn speed_bound_dominates_actual_motion() {
+        // Stationary: fixed forever.
+        let still = Motion::stationary(Pos::new(1.0, 2.0));
+        assert_eq!(still.speed_bound(), 0.0);
+        assert!(still.is_fixed());
+        // Waypoint: bounded by the configured max speed at all times.
+        let mut m = waypoint(5);
+        assert!(!m.is_fixed());
+        let bound = m.speed_bound();
+        assert!(bound >= 4.0);
+        let mut prev = m.position_at(SimTime::ZERO);
+        for s in 1..3000u64 {
+            let t = SimTime::from_millis(s * 100);
+            let p = m.position_at(t);
+            assert!(prev.dist(p) <= bound * 0.1 + 1e-9, "outran bound at {s}");
+            assert!(m.speed_bound() <= bound + 1e-12, "bound grew at {s}");
+            prev = p;
+        }
+        // Scripted leg: bounded by the leg's speed; fixed once parked.
+        let mut lin = Motion::linear(
+            Pos::new(0.0, 0.0),
+            Pos::new(100.0, 0.0),
+            SimTime::ZERO,
+            25.0,
+        );
+        assert!((lin.speed_bound() - 25.0).abs() < 1e-9);
+        assert!(!lin.is_fixed());
+        lin.position_at(SimTime::from_secs(10));
+        assert!(lin.is_fixed(), "parked scripted motion stays fixed");
     }
 
     #[test]

@@ -8,6 +8,7 @@ use rmac_wire::consts::SPEED_OF_LIGHT;
 use rmac_wire::{Frame, NodeId};
 
 use crate::event::{Indication, PhyEvent};
+use crate::grid::{IndexMode, SpatialGrid};
 use crate::tone::{ActiveWatch, Tone, ToneLog};
 
 /// Identifier of one transmission on the data channel.
@@ -46,6 +47,11 @@ pub struct ChannelConfig {
     pub capture_threshold: f64,
     /// Path-loss exponent used for received powers (two-ray ground ≈ 4).
     pub path_loss_exp: f64,
+    /// How range queries are answered. The default grid index is
+    /// bit-identical to [`IndexMode::BruteForce`] (the grid only filters
+    /// candidates; exact positions decide membership) but queries the few
+    /// cells around the transmitter instead of every node.
+    pub index: IndexMode,
 }
 
 impl Default for ChannelConfig {
@@ -55,6 +61,7 @@ impl Default for ChannelConfig {
             ber_per_bit: 0.0,
             capture_threshold: 10.0,
             path_loss_exp: 4.0,
+            index: IndexMode::grid(),
         }
     }
 }
@@ -131,12 +138,29 @@ pub struct Channel {
     next_tx: TxId,
     next_emit: u64,
     fault_hook: Option<Box<dyn FaultHook>>,
+    /// Spatial index over node positions (`None` ⇒ brute-force scans).
+    grid: Option<SpatialGrid>,
+    /// Per-source receiver triples, cached forever once computed — only
+    /// populated when *every* node is fixed, where receiver sets are
+    /// time-invariant and the cache is exact.
+    static_rx: Vec<Option<Vec<(NodeId, SimTime, f64)>>>,
+    /// Recycled receiver-triple buffers (the allocation diet: transmission
+    /// records hand their receiver lists back here instead of freeing).
+    rx_pool: Vec<Vec<(NodeId, SimTime, f64)>>,
+    /// Recycled tone receiver buffers.
+    tone_pool: Vec<Vec<(NodeId, SimTime)>>,
+    /// Scratch for grid candidate indices.
+    cand_scratch: Vec<u16>,
 }
 
 impl Channel {
     /// Build a channel over the given per-node trajectories.
     pub fn new(cfg: ChannelConfig, motions: Vec<Motion>) -> Channel {
         let n = motions.len();
+        let grid = match cfg.index {
+            IndexMode::BruteForce => None,
+            IndexMode::Grid { quantum } => Some(SpatialGrid::new(cfg.range_m, quantum)),
+        };
         Channel {
             cfg,
             motions,
@@ -146,6 +170,11 @@ impl Channel {
             next_tx: 0,
             next_emit: 0,
             fault_hook: None,
+            grid,
+            static_rx: vec![None; n],
+            rx_pool: Vec::new(),
+            tone_pool: Vec::new(),
+            cand_scratch: Vec::new(),
         }
     }
 
@@ -175,39 +204,74 @@ impl Channel {
     }
 
     /// All nodes within radio range of `node` at time `t` (excluding
-    /// `node` itself).
+    /// `node` itself), in ascending id order.
     pub fn neighbors_at(&mut self, node: NodeId, t: SimTime) -> Vec<NodeId> {
-        let p = self.motions[node.idx()].position_at(t);
-        let range_sq = self.cfg.range_m * self.cfg.range_m;
-        (0..self.radios.len())
-            .filter(|&i| i != node.idx())
-            .filter(|&i| self.motions[i].position_at(t).dist_sq(p) <= range_sq)
-            .map(|i| NodeId(i as u16))
-            .collect()
+        let mut buf = self.rx_pool.pop().unwrap_or_default();
+        self.fill_receivers(node, t, &mut buf);
+        let out = buf.iter().map(|&(rx, _, _)| rx).collect();
+        buf.clear();
+        self.rx_pool.push(buf);
+        out
     }
 
     fn prop_delay(dist_m: f64) -> SimTime {
         SimTime::from_secs_f64(dist_m / SPEED_OF_LIGHT)
     }
 
-    fn in_range_receivers(&mut self, src: NodeId, t: SimTime) -> Vec<(NodeId, SimTime, f64)> {
-        let p = self.motions[src.idx()].position_at(t);
+    /// Fill `out` with the `(receiver, propagation delay, received power)`
+    /// triples of every node in range of `src` at `t`, ascending by id.
+    ///
+    /// Both index modes produce bit-identical triples: the grid only
+    /// pre-filters candidates (by bucketed position, widened by the
+    /// worst-case mover drift); membership and link quantities are always
+    /// computed from exact trajectory positions at `t`.
+    fn fill_receivers(&mut self, src: NodeId, t: SimTime, out: &mut Vec<(NodeId, SimTime, f64)>) {
+        out.clear();
         let range_sq = self.cfg.range_m * self.cfg.range_m;
         let alpha = self.cfg.path_loss_exp;
-        let mut out = Vec::new();
-        for i in 0..self.radios.len() {
-            if i == src.idx() {
-                continue;
+        if let Some(grid) = self.grid.as_mut() {
+            grid.ensure(t, &mut self.motions);
+            let all_fixed = grid.all_fixed();
+            if all_fixed {
+                if let Some(cached) = &self.static_rx[src.idx()] {
+                    out.extend_from_slice(cached);
+                    return;
+                }
             }
-            let d2 = self.motions[i].position_at(t).dist_sq(p);
-            if d2 <= range_sq {
-                let d = d2.sqrt();
-                // Distances are clamped to 1 m so powers stay finite.
-                let power = d.max(1.0).powf(-alpha);
-                out.push((NodeId(i as u16), Self::prop_delay(d), power));
+            let p = self.motions[src.idx()].position_at(t);
+            self.cand_scratch.clear();
+            grid.candidates(p, self.cfg.range_m, &mut self.cand_scratch);
+            for &i in &self.cand_scratch {
+                if i as usize == src.idx() {
+                    continue;
+                }
+                let d2 = self.motions[i as usize].position_at(t).dist_sq(p);
+                if d2 <= range_sq {
+                    let d = d2.sqrt();
+                    // Distances are clamped to 1 m so powers stay finite.
+                    let power = d.max(1.0).powf(-alpha);
+                    out.push((NodeId(i), Self::prop_delay(d), power));
+                }
+            }
+            out.sort_unstable_by_key(|&(rx, _, _)| rx);
+            if all_fixed {
+                self.static_rx[src.idx()] = Some(out.clone());
+            }
+        } else {
+            let p = self.motions[src.idx()].position_at(t);
+            for i in 0..self.radios.len() {
+                if i == src.idx() {
+                    continue;
+                }
+                let d2 = self.motions[i].position_at(t).dist_sq(p);
+                if d2 <= range_sq {
+                    let d = d2.sqrt();
+                    // Distances are clamped to 1 m so powers stay finite.
+                    let power = d.max(1.0).powf(-alpha);
+                    out.push((NodeId(i as u16), Self::prop_delay(d), power));
+                }
             }
         }
-        out
     }
 
     // -----------------------------------------------------------------
@@ -232,14 +296,18 @@ impl Channel {
         );
         let id = self.next_tx;
         self.next_tx += 1;
-        let receivers = self.in_range_receivers(src, now);
+        let mut receivers = self.rx_pool.pop().unwrap_or_default();
+        self.fill_receivers(src, now, &mut receivers);
         let end = now + frame.airtime();
-        for &(rx, prop, _) in &receivers {
+        for &(rx, prop, power) in &receivers {
             q.push(
                 now + prop,
-                E::from(PhyEvent::FrameArriveStart { rx, tx: id }),
+                E::from(PhyEvent::FrameArriveStart { rx, tx: id, power }),
             );
-            q.push(end + prop, E::from(PhyEvent::FrameArriveEnd { rx, tx: id }));
+            q.push(
+                end + prop,
+                E::from(PhyEvent::FrameArriveEnd { rx, tx: id, prop }),
+            );
         }
         q.push(end, E::from(PhyEvent::TxComplete { node: src, tx: id }));
         // Half duplex: anything arriving at the transmitter is lost.
@@ -280,7 +348,10 @@ impl Channel {
         rec.end = now;
         q.push(now, E::from(PhyEvent::TxComplete { node: src, tx: id }));
         for &(rx, prop, _) in &rec.receivers {
-            q.push(now + prop, E::from(PhyEvent::FrameArriveEnd { rx, tx: id }));
+            q.push(
+                now + prop,
+                E::from(PhyEvent::FrameArriveEnd { rx, tx: id, prop }),
+            );
         }
     }
 
@@ -298,11 +369,12 @@ impl Channel {
         let now = q.now();
         let id = self.next_emit;
         self.next_emit += 1;
-        let receivers: Vec<(NodeId, SimTime)> = self
-            .in_range_receivers(src, now)
-            .into_iter()
-            .map(|(rx, prop, _)| (rx, prop))
-            .collect();
+        let mut triples = self.rx_pool.pop().unwrap_or_default();
+        self.fill_receivers(src, now, &mut triples);
+        let mut receivers = self.tone_pool.pop().unwrap_or_default();
+        receivers.extend(triples.iter().map(|&(rx, prop, _)| (rx, prop)));
+        triples.clear();
+        self.rx_pool.push(triples);
         for &(rx, prop) in &receivers {
             q.push(
                 now + prop,
@@ -341,7 +413,10 @@ impl Channel {
             .expect("emitting tone without record");
         rec.stopped = true;
         rec.pending += rec.receivers.len();
-        for &(rx, prop) in &rec.receivers.clone() {
+        // The falling edges are pushed straight from the record's receiver
+        // list — `q` is a caller-owned queue, so no clone of the list is
+        // needed to satisfy the borrow checker.
+        for &(rx, prop) in &rec.receivers {
             q.push(
                 now + prop,
                 E::from(PhyEvent::ToneEdge {
@@ -353,7 +428,9 @@ impl Channel {
             );
         }
         if self.tones[&id].pending == 0 {
-            self.tones.remove(&id);
+            if let Some(rec) = self.tones.remove(&id) {
+                self.recycle_tone(rec);
+            }
         }
     }
 
@@ -415,8 +492,10 @@ impl Channel {
         out: &mut Vec<Indication>,
     ) {
         match *ev {
-            PhyEvent::FrameArriveStart { rx, tx } => self.frame_start(rx, tx, out),
-            PhyEvent::FrameArriveEnd { rx, tx } => self.frame_end(now, rng, rx, tx, out),
+            PhyEvent::FrameArriveStart { rx, tx, power } => self.frame_start(rx, tx, power, out),
+            PhyEvent::FrameArriveEnd { rx, tx, prop } => {
+                self.frame_end(now, rng, rx, tx, prop, out)
+            }
             PhyEvent::TxComplete { node, tx } => self.tx_complete(now, node, tx, out),
             PhyEvent::ToneEdge { rx, tone, on, emit } => {
                 self.tone_edge(now, rx, tone, on, emit, out)
@@ -424,18 +503,26 @@ impl Channel {
         }
     }
 
-    fn frame_start(&mut self, rx: NodeId, tx: TxId, out: &mut Vec<Indication>) {
-        let Some(rec) = self.txs.get(&tx) else {
+    /// Return a retired transmission record's receiver buffer to the pool.
+    fn recycle_tx(&mut self, rec: TxRecord) {
+        let mut buf = rec.receivers;
+        buf.clear();
+        self.rx_pool.push(buf);
+    }
+
+    /// Return a retired tone emission's receiver buffer to the pool.
+    fn recycle_tone(&mut self, rec: ToneEmission) {
+        let mut buf = rec.receivers;
+        buf.clear();
+        self.tone_pool.push(buf);
+    }
+
+    fn frame_start(&mut self, rx: NodeId, tx: TxId, power: f64, out: &mut Vec<Indication>) {
+        if !self.txs.contains_key(&tx) {
             // The transmission was aborted at its very start instant and
             // fully cleaned up; nothing arrives.
             return;
-        };
-        let power = rec
-            .receivers
-            .iter()
-            .find(|&&(n, _, _)| n == rx)
-            .map(|&(_, _, p)| p)
-            .expect("arrival at a node not in the receiver set");
+        }
         let r = &mut self.radios[rx.idx()];
         let was_idle = r.arriving.is_empty();
         // Half duplex: a node cannot decode while transmitting.
@@ -469,13 +556,11 @@ impl Channel {
         rng: &mut SimRng,
         rx: NodeId,
         tx: TxId,
+        prop: SimTime,
         out: &mut Vec<Indication>,
     ) {
         let Some(rec) = self.txs.get(&tx) else {
             return; // stale
-        };
-        let Some(&(_, prop, _)) = rec.receivers.iter().find(|&&(n, _, _)| n == rx) else {
-            return;
         };
         if rec.end + prop != now {
             return; // stale end event from before an abort truncated the tx
@@ -534,7 +619,9 @@ impl Channel {
         let rec = self.txs.get_mut(&tx).expect("record vanished mid-event");
         rec.pending_ends -= 1;
         if rec.done && rec.pending_ends == 0 {
-            self.txs.remove(&tx);
+            if let Some(rec) = self.txs.remove(&tx) {
+                self.recycle_tx(rec);
+            }
         }
     }
 
@@ -549,7 +636,9 @@ impl Channel {
         let frame = rec.frame.clone();
         let aborted = rec.aborted;
         if rec.pending_ends == 0 {
-            self.txs.remove(&tx);
+            if let Some(rec) = self.txs.remove(&tx) {
+                self.recycle_tx(rec);
+            }
         }
         debug_assert_eq!(self.radios[node.idx()].transmitting, Some(tx));
         self.radios[node.idx()].transmitting = None;
@@ -596,7 +685,9 @@ impl Channel {
         if let Some(rec) = self.tones.get_mut(&emit) {
             rec.pending -= 1;
             if rec.stopped && rec.pending == 0 {
-                self.tones.remove(&emit);
+                if let Some(rec) = self.tones.remove(&emit) {
+                    self.recycle_tone(rec);
+                }
             }
         }
     }

@@ -1,5 +1,6 @@
 //! PHY event and indication types.
 
+use rmac_sim::SimTime;
 use rmac_wire::{Frame, NodeId};
 
 use crate::tone::Tone;
@@ -7,14 +8,19 @@ use crate::tone::Tone;
 /// Events the channel schedules for itself. The embedding simulation's
 /// event type must implement `From<PhyEvent>` and hand popped events back
 /// to [`Channel::handle`](crate::Channel::handle).
+///
+/// Arrival events carry the per-receiver link quantities (`power`, `prop`)
+/// fixed at transmission start, so processing an arrival is O(1) instead
+/// of a linear search over the transmission's receiver list.
 #[derive(Clone, Debug)]
 pub enum PhyEvent {
-    /// The first bit of transmission `tx` reaches `rx`.
-    FrameArriveStart { rx: NodeId, tx: u64 },
-    /// The last bit of transmission `tx` reaches `rx` (timestamp encodes
-    /// which truncation generation this event belongs to; stale ones are
-    /// ignored).
-    FrameArriveEnd { rx: NodeId, tx: u64 },
+    /// The first bit of transmission `tx` reaches `rx` with received
+    /// power `power`.
+    FrameArriveStart { rx: NodeId, tx: u64, power: f64 },
+    /// The last bit of transmission `tx` reaches `rx` after propagation
+    /// delay `prop` (the event's timestamp, `end + prop`, encodes which
+    /// truncation generation it belongs to; stale ones are ignored).
+    FrameArriveEnd { rx: NodeId, tx: u64, prop: SimTime },
     /// Transmission `tx` leaves the transmitter's antenna completely.
     TxComplete { node: NodeId, tx: u64 },
     /// A tone emission edge (on or off) reaches `rx`.

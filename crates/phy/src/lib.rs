@@ -25,11 +25,19 @@
 //! Aborted transmissions (RMAC aborts an in-flight MRTS when it senses an
 //! RBT) are modelled by truncating the transmission record; stale
 //! frame-end events are recognised by timestamp mismatch and ignored.
+//!
+//! Range queries ("who hears this transmission/tone?") go through a
+//! uniform-grid spatial index by default ([`grid::SpatialGrid`]), which is
+//! bit-identical to the brute-force O(N) scan but only inspects the cells
+//! around the transmitter; see the [`grid`] module docs for the
+//! determinism contract.
 
 pub mod channel;
 pub mod event;
+pub mod grid;
 pub mod tone;
 
 pub use channel::{Channel, ChannelConfig, FaultHook, TxId};
 pub use event::{Indication, PhyEvent};
+pub use grid::{IndexMode, SpatialGrid};
 pub use tone::{Tone, ToneLog};

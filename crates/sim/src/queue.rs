@@ -82,6 +82,19 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Grow the queue to hold at least `additional` more events without
+    /// reallocating (embedders pre-size from the scenario scale so the
+    /// heap never reallocates mid-replication).
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
+    /// Number of events the queue can hold without reallocating.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
     /// The time of the most recently popped event (the current simulation
     /// clock).
     #[inline]
@@ -205,6 +218,18 @@ mod tests {
         q.push(SimTime::from_micros(10), ());
         q.pop();
         q.push(SimTime::from_micros(5), ());
+    }
+
+    #[test]
+    fn capacity_hooks_presize_the_heap() {
+        let mut q: EventQueue<u32> = EventQueue::with_capacity(64);
+        assert!(q.capacity() >= 64);
+        q.reserve(1000);
+        assert!(q.capacity() >= 1000);
+        // Reserving never disturbs queue contents.
+        q.push(SimTime::MICRO, 9);
+        q.reserve(2000);
+        assert_eq!(q.pop(), Some((SimTime::MICRO, 9)));
     }
 
     #[test]

@@ -8,6 +8,11 @@
 //! warm-up) and prints min/mean per-iteration wall time — enough to read
 //! relative movement between protocols, which is all the figure benches
 //! report.
+//!
+//! Like upstream, passing `--test` (`cargo bench -- --test`) switches to
+//! smoke mode: every benchmark body runs exactly once, unmeasured, so CI
+//! can prove bench code still compiles and runs without paying for
+//! sampling.
 
 use std::time::{Duration, Instant};
 
@@ -23,9 +28,16 @@ pub enum Throughput {
 }
 
 /// Top-level harness handle.
-#[derive(Default)]
 pub struct Criterion {
-    _priv: (),
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
 }
 
 impl Criterion {
@@ -35,6 +47,7 @@ impl Criterion {
         BenchmarkGroup {
             samples: 10,
             throughput: None,
+            test_mode: self.test_mode,
         }
     }
 }
@@ -43,6 +56,7 @@ impl Criterion {
 pub struct BenchmarkGroup {
     samples: usize,
     throughput: Option<Throughput>,
+    test_mode: bool,
 }
 
 impl BenchmarkGroup {
@@ -64,10 +78,14 @@ impl BenchmarkGroup {
         F: FnMut(&mut Bencher),
     {
         let mut b = Bencher {
-            samples: self.samples,
+            samples: if self.test_mode { 0 } else { self.samples },
             times: Vec::new(),
         };
         routine(&mut b);
+        if self.test_mode {
+            println!("  {id:<28} ok (test mode, 1 unmeasured run)");
+            return self;
+        }
         let (min, mean) = b.stats();
         let rate = match self.throughput {
             Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
@@ -159,7 +177,9 @@ mod tests {
 
     #[test]
     fn bench_function_runs_and_records() {
-        let mut c = Criterion::default();
+        // Constructed directly: under `cargo bench -- --test` the default
+        // constructor sees the harness's own `--test` flag.
+        let mut c = Criterion { test_mode: false };
         let mut g = c.benchmark_group("shim");
         g.sample_size(3);
         let mut runs = 0u32;
@@ -170,8 +190,19 @@ mod tests {
     }
 
     #[test]
+    fn test_mode_runs_body_exactly_once() {
+        let mut c = Criterion { test_mode: true };
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(50);
+        let mut runs = 0u32;
+        g.bench_function("once", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1, "test mode must ignore sample_size");
+        g.finish();
+    }
+
+    #[test]
     fn iter_with_setup_separates_setup() {
-        let mut c = Criterion::default();
+        let mut c = Criterion { test_mode: false };
         let mut g = c.benchmark_group("shim2");
         g.sample_size(2).throughput(Throughput::Elements(10));
         let mut total = 0usize;
