@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Local CI gate — the same four checks .github/workflows/ci.yml runs.
+# Local CI gate — the same checks .github/workflows/ci.yml runs.
 # All dependencies are vendored (vendor/*), so this works fully offline.
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -15,5 +15,8 @@ cargo test -q --workspace
 
 echo "==> cargo bench -q --workspace -- --test (smoke: one unmeasured run per bench)"
 cargo bench -q --workspace -- --test
+
+echo "==> obs_report --smoke (instrumented run: bit-identity + trace schema + renders)"
+cargo run -q --release -p rmac-experiments --bin obs_report -- --smoke
 
 echo "CI green."

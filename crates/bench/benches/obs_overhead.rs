@@ -1,0 +1,47 @@
+//! Instrumentation overhead on a full replication: detached obs (the
+//! zero-cost-when-off path), cheap counting, and everything on (snapshot
+//! sampler + wall-clock kernel profiling). The three variants must produce
+//! bit-identical `RunReport`s (asserted once, outside the timed closures);
+//! the timings bound what the obs hooks cost the event loop.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rmac_engine::{ObsConfig, Protocol, Runner, ScenarioConfig};
+use rmac_sim::SimTime;
+
+fn cfg() -> ScenarioConfig {
+    ScenarioConfig::paper_stationary(10.0)
+        .with_nodes(40)
+        .with_packets(25)
+}
+
+fn run(obs: Option<ObsConfig>) -> rmac_metrics::RunReport {
+    let mut runner = Runner::new(&cfg(), Protocol::Rmac, 7);
+    if let Some(oc) = obs {
+        runner.set_obs(oc);
+    }
+    runner.run_obs(7).0
+}
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    // The determinism gate: instrumentation cannot move a single bit.
+    let detached = run(None);
+    assert_eq!(detached, run(Some(ObsConfig::default())));
+    assert_eq!(
+        detached,
+        run(Some(ObsConfig::full(SimTime::from_millis(100))))
+    );
+
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(10);
+    group.bench_function("detached", |b| b.iter(|| black_box(run(None))));
+    group.bench_function("counting", |b| {
+        b.iter(|| black_box(run(Some(ObsConfig::default()))))
+    });
+    group.bench_function("full", |b| {
+        b.iter(|| black_box(run(Some(ObsConfig::full(SimTime::from_millis(100))))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

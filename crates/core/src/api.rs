@@ -117,6 +117,22 @@ pub trait MacService {
     fn on_indication(&mut self, ctx: &mut dyn MacContext, ind: &Indication);
     /// Process a timer firing.
     fn on_timer(&mut self, ctx: &mut dyn MacContext, kind: TimerKind, gen: u64);
+
+    /// Start recording state-machine transitions (see [`transitions`]).
+    /// Counting is off by default so uninstrumented runs pay nothing for
+    /// it; the engine calls this when observability attaches. The default
+    /// — used by the baselines, which record nothing — is a no-op.
+    ///
+    /// [`transitions`]: MacService::transitions
+    fn enable_transition_counting(&mut self) {}
+
+    /// State-machine transition counts, if this MAC records them: the state
+    /// labels plus a flattened row-major `from × to` count matrix
+    /// (`labels.len()²` entries). `None` until counting is enabled and for
+    /// the baselines, which report nothing.
+    fn transitions(&self) -> Option<(&'static [&'static str], Vec<u64>)> {
+        None
+    }
 }
 
 /// Per-node MAC-layer statistics, the raw material for the paper's

@@ -49,6 +49,38 @@ pub enum State {
     TxUnrdata,
 }
 
+impl State {
+    /// Number of protocol states (rows/columns of the transition matrix).
+    pub const COUNT: usize = 8;
+
+    /// Display labels, indexed by [`State::index`]. The names follow
+    /// Fig. 14 of the paper.
+    pub const LABELS: [&'static str; State::COUNT] = [
+        "IDLE",
+        "BACKOFF",
+        "TX_MRTS",
+        "WF_RBT",
+        "TX_RDATA",
+        "WF_ABT",
+        "WF_RDATA",
+        "TX_UNRDATA",
+    ];
+
+    /// Dense index of this state (row/column into the transition matrix).
+    pub fn index(self) -> usize {
+        match self {
+            State::Idle => 0,
+            State::Backoff => 1,
+            State::TxMrts => 2,
+            State::WfRbt => 3,
+            State::TxRdata => 4,
+            State::WfAbt => 5,
+            State::WfRdata => 6,
+            State::TxUnrdata => 7,
+        }
+    }
+}
+
 /// A Reliable Send in progress.
 #[derive(Debug)]
 struct ReliableJob {
@@ -111,6 +143,15 @@ pub struct Rmac {
     t_wf_abt: TimerSlot,
     t_abt_start: TimerSlot,
     t_abt_stop: TimerSlot,
+    /// Executed state-machine edges: `transitions[from × COUNT + to]`.
+    /// Off by default — the matrix only feeds the observability report, so
+    /// an uninstrumented run skips the per-transition increment entirely
+    /// (the engine flips it on when obs attaches). Counting is plain and
+    /// deterministic, so enabling it cannot perturb results (same contract
+    /// as [`MacCounters`]). Boxed to keep the 512-byte matrix off the hot
+    /// `Rmac` cache lines.
+    count_transitions: bool,
+    transitions: Box<[u64; State::COUNT * State::COUNT]>,
 }
 
 impl Rmac {
@@ -133,6 +174,8 @@ impl Rmac {
             t_wf_abt: TimerSlot::new(),
             t_abt_start: TimerSlot::new(),
             t_abt_stop: TimerSlot::new(),
+            count_transitions: false,
+            transitions: Box::new([0; State::COUNT * State::COUNT]),
         }
     }
 
@@ -154,6 +197,20 @@ impl Rmac {
     /// Pending requests (excluding the one in progress).
     pub fn queue_len(&self) -> usize {
         self.queue.len()
+    }
+
+    /// How many times the `from → to` edge has been taken.
+    pub fn transition_count(&self, from: State, to: State) -> u64 {
+        self.transitions[from.index() * State::COUNT + to.index()]
+    }
+
+    /// Enter `to`, counting the executed edge. Every state change funnels
+    /// through here so the transition matrix is complete by construction.
+    fn set_state(&mut self, to: State) {
+        if self.count_transitions {
+            self.transitions[self.state.index() * State::COUNT + to.index()] += 1;
+        }
+        self.state = to;
     }
 
     // -----------------------------------------------------------------
@@ -237,7 +294,7 @@ impl Rmac {
         }
         if self.backoff.bi() > 0 {
             // C8: both channels idle and BI not 0.
-            self.state = State::Backoff;
+            self.set_state(State::Backoff);
             let gen = self.t_backoff.arm();
             ctx.schedule(SLOT, TimerKind::BackoffSlot, gen);
             return;
@@ -265,7 +322,7 @@ impl Rmac {
         c.mrts_tx += 1;
         c.mrts_lengths.push(frame.length_bytes() as u32);
         c.ctrl_airtime += frame.airtime();
-        self.state = State::TxMrts;
+        self.set_state(State::TxMrts);
         ctx.start_tx(frame);
     }
 
@@ -275,7 +332,7 @@ impl Rmac {
         };
         let frame = Frame::data_unreliable(self.id, job.dest.clone(), job.payload.clone(), job.seq);
         ctx.counters().unreliable_data_airtime += frame.airtime();
-        self.state = State::TxUnrdata;
+        self.set_state(State::TxUnrdata);
         ctx.start_tx(frame);
     }
 
@@ -283,7 +340,7 @@ impl Rmac {
     /// transmission or frame drop is followed by a fresh backoff draw.
     fn post_cycle(&mut self, ctx: &mut dyn MacContext) {
         self.backoff.draw(ctx.rng());
-        self.state = State::Idle;
+        self.set_state(State::Idle);
         self.try_progress(ctx);
     }
 
@@ -306,7 +363,7 @@ impl Rmac {
             ctx.counters().retransmissions += 1;
             self.backoff.fail();
             self.backoff.draw(ctx.rng());
-            self.state = State::Idle;
+            self.set_state(State::Idle);
             self.try_progress(ctx);
         }
     }
@@ -344,7 +401,7 @@ impl Rmac {
         }
         self.t_wf_rdata.cancel();
         if self.state == State::WfRdata {
-            self.state = State::Idle;
+            self.set_state(State::Idle);
         }
     }
 
@@ -401,7 +458,7 @@ impl Rmac {
         ctx.start_tone(Tone::Rbt);
         let gen = self.t_wf_rdata.arm();
         ctx.schedule(T_WF_RDATA, TimerKind::WfRdata, gen);
-        self.state = State::WfRdata;
+        self.set_state(State::WfRdata);
     }
 
     fn handle_reliable_data(&mut self, ctx: &mut dyn MacContext, frame: &Frame) {
@@ -456,12 +513,12 @@ impl Rmac {
         if !self.channels_idle(ctx) {
             // Suspend: BI is retained, countdown resumes when both
             // channels go idle again (§3.3.1).
-            self.state = State::Idle;
+            self.set_state(State::Idle);
             return;
         }
         if self.backoff.tick() {
             // C14/C6: BI reached 0 — transmit, or fall back to IDLE.
-            self.state = State::Idle;
+            self.set_state(State::Idle);
             self.try_progress(ctx);
         } else {
             let gen = self.t_backoff.arm();
@@ -486,7 +543,7 @@ impl Rmac {
                 job.seq,
             );
             ctx.counters().reliable_data_airtime += frame.airtime();
-            self.state = State::TxRdata;
+            self.set_state(State::TxRdata);
             ctx.start_tx(frame);
         } else {
             // C12/C15: no RBT arrived — the MRTS was lost; retry.
@@ -545,7 +602,7 @@ impl Rmac {
                     self.attempt_failed(ctx);
                 } else {
                     // C17: MRTS complete → wait for the RBT.
-                    self.state = State::WfRbt;
+                    self.set_state(State::WfRbt);
                     ctx.open_tone_watch(Tone::Rbt);
                     let gen = self.t_wf_rbt.arm();
                     ctx.schedule(T_WF, TimerKind::WfRbt, gen);
@@ -557,7 +614,7 @@ impl Rmac {
                     Some(Job::Reliable(job)) => job.chunk.len() as u64,
                     _ => unreachable!("TX_RDATA without a reliable job"),
                 };
-                self.state = State::WfAbt;
+                self.set_state(State::WfAbt);
                 self.abt_window_start = ctx.now();
                 ctx.open_tone_watch(Tone::Abt);
                 ctx.counters().abt_check_time += L_ABT.mul(n);
@@ -688,6 +745,15 @@ impl MacService for Rmac {
             // Baseline-only timers never reach RMAC.
             TimerKind::AwaitResponse | TimerKind::Ifs | TimerKind::RespIfs | TimerKind::Nav => {}
         }
+    }
+
+    fn enable_transition_counting(&mut self) {
+        self.count_transitions = true;
+    }
+
+    fn transitions(&self) -> Option<(&'static [&'static str], Vec<u64>)> {
+        self.count_transitions
+            .then(|| (&State::LABELS[..], self.transitions.to_vec()))
     }
 }
 

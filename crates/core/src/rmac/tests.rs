@@ -29,7 +29,11 @@ fn drain_backoff(m: &mut Mock, mac: &mut Rmac) {
 }
 
 fn mac(id: u16) -> Rmac {
-    Rmac::new(n(id), MacConfig::default())
+    let mut r = Rmac::new(n(id), MacConfig::default());
+    // Tests inspect the transition matrix freely; production runs only
+    // enable counting when observability attaches.
+    r.enable_transition_counting();
+    r
 }
 
 fn reliable_req(dest: Dest, token: u64) -> TxRequest {
@@ -881,4 +885,68 @@ fn tone_watch_discipline() {
     m.preset_abt_slots(m.now, 1, &[0]);
     m.fire(&mut r, TimerKind::WfAbt);
     assert!(!m.watch_open[Tone::Abt.idx()]);
+}
+
+// ---------------------------------------------------------------------
+// Observability: the executed transition matrix
+// ---------------------------------------------------------------------
+
+/// A clean reliable unicast walks the happy path of Fig. 14 exactly once,
+/// and every executed edge shows up in the transition matrix.
+#[test]
+fn transition_matrix_records_happy_path() {
+    let mut m = Mock::new();
+    let mut r = mac(0);
+    r.submit(&mut m, reliable_req(Dest::Group(vec![n(1)]), 1));
+    m.finish_tx(&mut r, false);
+    m.preset_on(Tone::Rbt, m.now, T_WF);
+    m.fire(&mut r, TimerKind::WfRbt);
+    m.finish_tx(&mut r, false);
+    m.preset_abt_slots(m.now, 1, &[0]);
+    m.fire(&mut r, TimerKind::WfAbt);
+    assert_eq!(r.transition_count(State::Idle, State::TxMrts), 1);
+    assert_eq!(r.transition_count(State::TxMrts, State::WfRbt), 1);
+    assert_eq!(r.transition_count(State::WfRbt, State::TxRdata), 1);
+    assert_eq!(r.transition_count(State::TxRdata, State::WfAbt), 1);
+    assert_eq!(r.transition_count(State::WfAbt, State::Idle), 1);
+    // Edges never executed stay zero.
+    assert_eq!(r.transition_count(State::Idle, State::TxUnrdata), 0);
+    assert_eq!(r.transition_count(State::WfRdata, State::Idle), 0);
+    // The trait view exposes the same counts with the state labels.
+    let (labels, flat) = r.transitions().expect("rmac records transitions");
+    assert_eq!(labels.len(), State::COUNT);
+    assert_eq!(flat.len(), State::COUNT * State::COUNT);
+    assert_eq!(
+        flat[State::Idle.index() * State::COUNT + State::TxMrts.index()],
+        1
+    );
+    let total: u64 = flat.iter().sum();
+    assert!(total >= 5, "at least the five happy-path edges: {total}");
+}
+
+/// The receiver side counts its IDLE → WF_RDATA → IDLE round trip.
+#[test]
+fn transition_matrix_records_receiver_session() {
+    let mut m = Mock::new();
+    let mut r = mac(2);
+    let mrts = Frame::mrts(n(0), vec![n(2)]);
+    m.rx_frame(&mut r, n(2), mrts, true);
+    assert_eq!(r.state(), State::WfRdata);
+    assert_eq!(r.transition_count(State::Idle, State::WfRdata), 1);
+    let data = Frame::data_reliable(n(0), Dest::Group(vec![n(2)]), Bytes::from_static(b"d"), 0);
+    m.rx_frame(&mut r, n(2), data, true);
+    assert_eq!(r.transition_count(State::WfRdata, State::Idle), 1);
+}
+
+/// Transition counting is opt-in: a MAC that never had observability
+/// attached reports nothing and counts nothing, so uninstrumented runs
+/// pay zero per-transition cost.
+#[test]
+fn transition_counting_is_opt_in() {
+    let mut m = Mock::new();
+    let mut r = Rmac::new(n(0), MacConfig::default());
+    assert!(r.transitions().is_none());
+    r.submit(&mut m, reliable_req(Dest::Group(vec![n(1)]), 1));
+    assert_eq!(r.transition_count(State::Idle, State::TxMrts), 0);
+    assert!(r.transitions().is_none(), "still detached after traffic");
 }

@@ -18,10 +18,16 @@
 //! constructors.
 
 pub mod config;
+pub mod obs;
 pub mod trace;
 pub mod world;
 
 pub use config::{Protocol, ScenarioConfig};
+pub use obs::ObsConfig;
 pub use rmac_faults::FaultPlan;
-pub use trace::{jsonl_file_tracer, TraceEvent, TraceWhat, Tracer};
+pub use rmac_obs::ObsReport;
+pub use trace::{
+    filter_tracer, jsonl_file_tracer, JsonlSink, SinkSummary, TraceEvent, TraceLevel, TraceWhat,
+    Tracer,
+};
 pub use world::{run_replication, run_replication_with_faults, Runner};

@@ -5,11 +5,40 @@
 //! — the raw material for protocol timelines like the paper's Fig. 4
 //! (MRTS → RBT → DATA → ordered ABTs), reproduced executable in
 //! `examples/fig4_timeline.rs`.
+//!
+//! # JSONL schema
+//!
+//! [`JsonlSink`] (and the [`jsonl_file_tracer`] convenience wrapper) write
+//! one JSON object per line. Every line carries `"t_ns"` (simulation time
+//! in nanoseconds, integer) and `"node"` (node id, integer), plus an
+//! `"ev"` discriminator and its payload:
+//!
+//! | `ev`        | payload fields                                          |
+//! |-------------|---------------------------------------------------------|
+//! | `tx_done`   | `kind` (string), `bytes` (int), `aborted` (bool)        |
+//! | `rx`        | `kind` (string), `src` (int), `ok` (bool)               |
+//! | `tone`      | `tone` (`"Rbt"`/`"Abt"`), `present` (bool)              |
+//! | `carrier`   | `busy` (bool)                                           |
+//! | `submit`    | `reliable` (bool), `bytes` (int)                        |
+//! | `deliver`   | `kind` (string), `src` (int)                            |
+//! | `fault`     | `label` (string)                                        |
+//!
+//! `kind` is the `Debug` name of `rmac_wire::FrameKind` (`"Mrts"`,
+//! `"DataReliable"`, …). `rmac_obs::parse_trace_line` parses this schema.
+//!
+//! # Volume control
+//!
+//! Full traces are dominated by per-node carrier/tone edges. A
+//! [`TraceLevel`] passed to [`filter_tracer`] keeps only the layers you
+//! care about: [`TraceLevel::Protocol`] ⊂ [`TraceLevel::Frames`] ⊂
+//! [`TraceLevel::Signal`] (everything).
 
 use std::fmt;
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use rmac_phy::Tone;
 use rmac_sim::SimTime;
@@ -157,14 +186,214 @@ impl TraceEvent {
 /// The observer callback type.
 pub type Tracer = Box<dyn FnMut(&TraceEvent) + Send>;
 
+/// How much of the event stream a trace keeps. Each level includes the
+/// ones above it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TraceLevel {
+    /// Protocol milestones only: submissions, deliveries, faults.
+    Protocol,
+    /// Plus every frame on the air: transmit completions and receptions.
+    Frames,
+    /// Plus the physical signal edges: tone and carrier changes. This is
+    /// the full stream — what an unfiltered tracer sees.
+    Signal,
+}
+
+impl TraceLevel {
+    /// Does this level keep `what`?
+    pub fn admits(self, what: &TraceWhat) -> bool {
+        match what {
+            TraceWhat::Submit { .. } | TraceWhat::Deliver { .. } | TraceWhat::Fault { .. } => true,
+            TraceWhat::TxDone { .. } | TraceWhat::Rx { .. } => self >= TraceLevel::Frames,
+            TraceWhat::Tone { .. } | TraceWhat::Carrier { .. } => self >= TraceLevel::Signal,
+        }
+    }
+}
+
+/// Wrap `inner` so it only sees events admitted by `level`.
+pub fn filter_tracer(level: TraceLevel, mut inner: Tracer) -> Tracer {
+    Box::new(move |ev: &TraceEvent| {
+        if level.admits(&ev.what) {
+            inner(ev);
+        }
+    })
+}
+
+/// What a [`JsonlSink`] did over its lifetime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SinkSummary {
+    /// Lines successfully handed to the (buffered) writer.
+    pub written: u64,
+    /// Events dropped because a write failed.
+    pub dropped: u64,
+}
+
+struct SinkShared {
+    out: Mutex<Option<BufWriter<File>>>,
+    written: AtomicU64,
+    dropped: AtomicU64,
+}
+
+/// A JSON-lines trace file that *accounts for* I/O failures instead of
+/// swallowing them: every failed write bumps a drop counter, and
+/// [`JsonlSink::finish`] flushes and reports the totals so a run can
+/// refuse to trust an incomplete trace.
+pub struct JsonlSink {
+    shared: Arc<SinkShared>,
+}
+
+impl JsonlSink {
+    /// Create (truncate) the trace file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<JsonlSink> {
+        let out = BufWriter::new(File::create(path)?);
+        Ok(JsonlSink {
+            shared: Arc::new(SinkShared {
+                out: Mutex::new(Some(out)),
+                written: AtomicU64::new(0),
+                dropped: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// A [`Tracer`] writing into this sink. May be called more than once;
+    /// all tracers share the file and the counters.
+    pub fn tracer(&self) -> Tracer {
+        let shared = Arc::clone(&self.shared);
+        Box::new(move |ev: &TraceEvent| {
+            let mut guard = shared.out.lock().expect("sink lock poisoned");
+            let ok = match guard.as_mut() {
+                Some(out) => writeln!(out, "{}", ev.to_json()).is_ok(),
+                // finish() already ran: the event has nowhere to go.
+                None => false,
+            };
+            drop(guard);
+            if ok {
+                shared.written.fetch_add(1, Ordering::Relaxed);
+            } else {
+                shared.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        })
+    }
+
+    /// Lines written so far.
+    pub fn written(&self) -> u64 {
+        self.shared.written.load(Ordering::Relaxed)
+    }
+
+    /// Events dropped on write failure so far.
+    pub fn dropped(&self) -> u64 {
+        self.shared.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Flush and close the file, returning the totals. A flush failure is
+    /// an error — buffered lines may not have reached disk.
+    pub fn finish(self) -> io::Result<SinkSummary> {
+        let mut guard = self.shared.out.lock().expect("sink lock poisoned");
+        if let Some(mut out) = guard.take() {
+            out.flush()?;
+        }
+        drop(guard);
+        Ok(SinkSummary {
+            written: self.written(),
+            dropped: self.dropped(),
+        })
+    }
+}
+
 /// A [`Tracer`] that appends one JSON object per event to `path`
 /// (JSON-lines). The writer is buffered; it flushes when the runner drops
-/// the tracer at the end of the run.
+/// the tracer at the end of the run. Use [`JsonlSink`] directly when you
+/// need to check for dropped writes — this wrapper keeps the drop counter
+/// but gives you no way to read it.
 pub fn jsonl_file_tracer(path: impl AsRef<Path>) -> io::Result<Tracer> {
-    let mut out = BufWriter::new(File::create(path)?);
-    Ok(Box::new(move |ev: &TraceEvent| {
-        // I/O errors on a diagnostic sink are not worth crashing a
-        // simulation for; drop the event.
-        let _ = writeln!(out, "{}", ev.to_json());
-    }))
+    Ok(JsonlSink::create(path)?.tracer())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(what: TraceWhat) -> TraceEvent {
+        TraceEvent {
+            t: SimTime::from_micros(5),
+            node: NodeId(3),
+            what,
+        }
+    }
+
+    #[test]
+    fn levels_nest() {
+        let submit = TraceWhat::Submit {
+            reliable: true,
+            bytes: 64,
+        };
+        let rx = TraceWhat::Rx {
+            kind: FrameKind::Mrts,
+            src: NodeId(1),
+            ok: true,
+        };
+        let tone = TraceWhat::Tone {
+            tone: Tone::Rbt,
+            present: true,
+        };
+        assert!(TraceLevel::Protocol.admits(&submit));
+        assert!(!TraceLevel::Protocol.admits(&rx));
+        assert!(!TraceLevel::Protocol.admits(&tone));
+        assert!(TraceLevel::Frames.admits(&rx));
+        assert!(!TraceLevel::Frames.admits(&tone));
+        assert!(TraceLevel::Signal.admits(&tone));
+    }
+
+    #[test]
+    fn filter_tracer_drops_below_level() {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        let inner: Tracer = Box::new(move |e| sink.lock().unwrap().push(e.to_json()));
+        let mut t = filter_tracer(TraceLevel::Frames, inner);
+        t(&ev(TraceWhat::Carrier { busy: true }));
+        t(&ev(TraceWhat::TxDone {
+            kind: FrameKind::Mrts,
+            bytes: 40,
+            aborted: false,
+        }));
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 1);
+        assert!(seen[0].contains("tx_done"));
+    }
+
+    #[test]
+    fn sink_counts_writes_and_finishes_clean() {
+        let dir = std::env::temp_dir().join("rmac_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sink.jsonl");
+        let sink = JsonlSink::create(&path).unwrap();
+        let mut t = sink.tracer();
+        t(&ev(TraceWhat::Fault { label: "crash" }));
+        t(&ev(TraceWhat::Carrier { busy: false }));
+        assert_eq!(sink.written(), 2);
+        assert_eq!(sink.dropped(), 0);
+        let summary = sink.finish().unwrap();
+        assert_eq!(
+            summary,
+            SinkSummary {
+                written: 2,
+                dropped: 0
+            }
+        );
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+
+    #[test]
+    fn writes_after_finish_count_as_dropped() {
+        let dir = std::env::temp_dir().join("rmac_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let sink = JsonlSink::create(dir.join("late.jsonl")).unwrap();
+        let mut t = sink.tracer();
+        let shared = Arc::clone(&sink.shared);
+        sink.finish().unwrap();
+        t(&ev(TraceWhat::Carrier { busy: true }));
+        assert_eq!(shared.dropped.load(Ordering::Relaxed), 1);
+    }
 }

@@ -6,11 +6,13 @@ use rmac_faults::{ChurnKind, FaultInjector, FaultPlan, JamTarget};
 use rmac_metrics::{percentile, RunReport};
 use rmac_mobility::{random_positions, MobilityKind, Motion, Pos};
 use rmac_net::{BlessConfig, NetLayer};
+use rmac_obs::{frame_kind_index, ObsReport, Registry, Snapshot};
 use rmac_phy::{Channel, ChannelConfig, IndexMode, Indication, PhyEvent, Tone, ToneLog};
 use rmac_sim::{EventQueue, SimRng, SimTime};
 use rmac_wire::{consts::BYTE_TIME, Dest, Frame, NodeId};
 
 use crate::config::{Protocol, ScenarioConfig};
+use crate::obs::{class_of, timer_idx, EngineObs, ObsConfig, TIMER_LABELS};
 use crate::trace::{TraceEvent, TraceWhat, Tracer};
 
 /// The engine's event type.
@@ -70,6 +72,9 @@ struct WorldCore {
     skew: Vec<f64>,
     /// Per-node crashed flag.
     down: Vec<bool>,
+    /// Optional deep instrumentation ([`crate::Runner::set_obs`]). Boxed so
+    /// the disabled path costs one pointer-sized `Option` check.
+    obs: Option<Box<EngineObs>>,
 }
 
 impl WorldCore {
@@ -104,6 +109,9 @@ impl MacContext for Ctx<'_> {
         let node = self.node;
         let delay = self.core.skewed(node, delay);
         let epoch = self.core.epochs[node.idx()];
+        if let Some(obs) = self.core.obs.as_mut() {
+            obs.nodes[node.idx()].timer_arm[timer_idx(kind)] += 1;
+        }
         self.core.q.push_after(
             delay,
             Ev::MacTimer {
@@ -282,6 +290,7 @@ impl Runner {
                 epochs: vec![0; cfg.nodes],
                 skew,
                 down: vec![false; cfg.nodes],
+                obs: None,
             },
             macs,
             nets,
@@ -308,6 +317,20 @@ impl Runner {
     /// delivery as it is dispatched (protocol timelines, debugging).
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = Some(tracer);
+    }
+
+    /// Attach the deep instrumentation layer ([`crate::obs`]): the kernel
+    /// self-profile, per-node protocol counters, and (when configured) the
+    /// periodic snapshot sampler. Collect the results with
+    /// [`Runner::run_obs`]. Instrumentation never perturbs the simulation;
+    /// the report stays bit-identical.
+    pub fn set_obs(&mut self, cfg: ObsConfig) {
+        self.core.obs = Some(Box::new(EngineObs::new(cfg, self.cfg.nodes)));
+        // Transition counting lives in the MACs (they cannot see `obs`),
+        // gated so detached runs skip the per-transition increment.
+        for mac in self.macs.iter_mut() {
+            mac.enable_transition_counting();
+        }
     }
 
     fn trace(&mut self, node: NodeId, what: TraceWhat) {
@@ -360,6 +383,14 @@ impl Runner {
         self.collect(seed)
     }
 
+    /// Run to completion and produce the report plus, when
+    /// [`Runner::set_obs`] was called, the observability report.
+    pub fn run_obs(mut self, seed: u64) -> (RunReport, Option<ObsReport>) {
+        self.run_loop();
+        let obs = self.finish_obs();
+        (self.collect(seed), obs)
+    }
+
     fn run_loop(&mut self) {
         // Stagger the first beacons uniformly over one period so the
         // network does not start in lockstep.
@@ -398,15 +429,97 @@ impl Runner {
             }
         }
         let end = self.cfg.end_time();
-        while let Some(t) = self.core.q.peek_time() {
-            if t > end {
-                break;
+        // Two copies of the pop/dispatch loop so the detached path stays
+        // exactly the pre-instrumentation hot loop — no per-event obs
+        // branch, and `dispatch` keeps its inlining context.
+        if self.core.obs.is_none() {
+            while let Some(t) = self.core.q.peek_time() {
+                if t > end {
+                    break;
+                }
+                let (_, ev) = self.core.q.pop().expect("peeked event vanished");
+                self.dispatch(ev);
             }
-            let (_, ev) = self.core.q.pop().expect("peeked event vanished");
-            self.dispatch(ev);
+        } else {
+            // Sampler presence is fixed for the whole run; hoist the check
+            // so sampler-less instrumented runs skip the per-event call.
+            let sampling = self.core.obs.as_ref().is_some_and(|o| o.sampler.is_some());
+            while let Some(t) = self.core.q.peek_time() {
+                if t > end {
+                    break;
+                }
+                if sampling {
+                    self.sample_until(t);
+                }
+                let (_, ev) = self.core.q.pop().expect("peeked event vanished");
+                self.dispatch_observed(ev);
+            }
         }
     }
 
+    /// Record every snapshot boundary at or before `t` (the next event's
+    /// timestamp). Boundary checks run *between* events, outside the queue,
+    /// so sampling changes neither the popped-event count nor any tie-break.
+    fn sample_until(&mut self, t: SimTime) {
+        let Some(mut obs) = self.core.obs.take() else {
+            return;
+        };
+        if let Some(sampler) = obs.sampler.as_mut() {
+            while sampler.due(t.nanos()) {
+                let snap = self.snapshot_at(sampler.next_boundary_ns());
+                sampler.record(snap);
+            }
+        }
+        self.core.obs = Some(obs);
+    }
+
+    /// Cumulative run state as of now, stamped with boundary time `t_ns`.
+    fn snapshot_at(&self, t_ns: u64) -> Snapshot {
+        Snapshot {
+            t_ns,
+            events: self.core.q.total_popped(),
+            queue_len: self.core.q.len() as u64,
+            queue_high_water: self.core.q.depth_high_water() as u64,
+            tx_frames: self.core.channel.frame_tallies().tx_frames.iter().sum(),
+            rx_ok: self.core.channel.frame_tallies().rx_ok.iter().sum(),
+            rx_corrupt: self.core.channel.frame_tallies().rx_corrupt.iter().sum(),
+            receptions: self
+                .nets
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != 0)
+                .map(|(_, net)| net.stats().received)
+                .sum(),
+            crashes: self.faults.as_ref().map_or(0, |f| f.crashes),
+            jam_bursts: self.faults.as_ref().map_or(0, |f| f.jam_bursts),
+        }
+    }
+
+    /// Dispatch one event, profiled when instrumentation is attached.
+    fn dispatch_observed(&mut self, ev: Ev) {
+        let Some(obs) = self.core.obs.as_deref_mut() else {
+            self.dispatch(ev);
+            return;
+        };
+        let class = class_of(&ev);
+        // One `dispatch` call site below, so the force-inlined event match
+        // is materialised once here, not once per profiling mode.
+        let start = if obs.kernel.wall_enabled() {
+            Some(std::time::Instant::now())
+        } else {
+            obs.kernel.count(class);
+            None
+        };
+        self.dispatch(ev);
+        if let Some(start) = start {
+            let ns = start.elapsed().as_nanos() as u64;
+            if let Some(obs) = self.core.obs.as_deref_mut() {
+                obs.kernel.record_ns(class, ns);
+            }
+        }
+    }
+
+    #[inline(always)]
     fn dispatch(&mut self, ev: Ev) {
         match ev {
             Ev::Phy(pe) => {
@@ -428,8 +541,21 @@ impl Runner {
                 epoch,
             } => {
                 // Timers armed by a MAC incarnation that has since crashed
-                // (or not yet restarted) must not fire.
-                if self.core.down[node.idx()] || epoch != self.core.epochs[node.idx()] {
+                // (or not yet restarted) must not fire. (Generation
+                // staleness is resolved *inside* the MAC's timer slots and
+                // is invisible here; these tallies count engine-level
+                // liveness only.)
+                let stale = self.core.down[node.idx()] || epoch != self.core.epochs[node.idx()];
+                if let Some(obs) = self.core.obs.as_mut() {
+                    let slot = timer_idx(kind);
+                    let n = &mut obs.nodes[node.idx()];
+                    if stale {
+                        n.timer_stale[slot] += 1;
+                    } else {
+                        n.timer_fire[slot] += 1;
+                    }
+                }
+                if stale {
                     return;
                 }
                 let mut delivered = Vec::new();
@@ -517,6 +643,10 @@ impl Runner {
                 // incarnation's timers cannot reach the new one.
                 self.core.epochs[node.idx()] = self.core.epochs[node.idx()].wrapping_add(1);
                 self.macs[node.idx()] = self.protocol.make_mac(node, self.cfg.mac);
+                if self.core.obs.is_some() {
+                    // Keep the revived incarnation observable too.
+                    self.macs[node.idx()].enable_transition_counting();
+                }
                 let bless_cfg = BlessConfig {
                     beacon_period: self.cfg.beacon_period,
                     freshness: self.cfg.freshness,
@@ -604,12 +734,51 @@ impl Runner {
         }
     }
 
+    /// Tally an indication into the per-node observability record. Only
+    /// called with instrumentation attached — the run-level frame
+    /// aggregates live in the channel (always on, counted at indication
+    /// creation), so the detached path pays nothing here.
+    fn observe_indication(&mut self, node: NodeId, ind: &Indication) {
+        let now_ns = self.core.q.now().nanos();
+        let Some(obs) = self.core.obs.as_mut() else {
+            return;
+        };
+        let n = &mut obs.nodes[node.idx()];
+        match ind {
+            Indication::TxDone { frame, aborted, .. } => {
+                n.tx[frame_kind_index(frame.kind)] += 1;
+                if *aborted {
+                    n.tx_aborted += 1;
+                }
+            }
+            Indication::FrameRx { frame, ok, .. } => {
+                let k = frame_kind_index(frame.kind);
+                if *ok {
+                    n.rx_ok[k] += 1;
+                } else {
+                    n.rx_corrupt[k] += 1;
+                }
+            }
+            Indication::ToneChanged { tone, present, .. } => {
+                let t = match tone {
+                    Tone::Rbt => 0,
+                    Tone::Abt => 1,
+                };
+                n.tone_edge(t, *present, now_ns);
+            }
+            Indication::CarrierOn { .. } | Indication::CarrierOff { .. } => {}
+        }
+    }
+
     fn indicate(&mut self, ind: &Indication) {
         let node = ind.node();
         // Jammer slots (channel indices past the protocol population) have
         // no MAC entity; crashed nodes have a dead one.
         if node.idx() >= self.macs.len() || self.core.down[node.idx()] {
             return;
+        }
+        if self.core.obs.is_some() {
+            self.observe_indication(node, ind);
         }
         self.trace_indication(ind);
         let mut delivered = Vec::new();
@@ -642,6 +811,9 @@ impl Runner {
         if delivered.is_empty() {
             return;
         }
+        if let Some(obs) = self.core.obs.as_mut() {
+            obs.nodes[node.idx()].delivered += delivered.len() as u64;
+        }
         let mut reqs = Vec::new();
         for frame in &delivered {
             if self.tracer.is_some() && frame.kind.is_data() {
@@ -657,6 +829,9 @@ impl Runner {
 
     /// Hand an upper-layer request to a node's MAC.
     fn submit(&mut self, node: NodeId, req: TxRequest) {
+        if let Some(obs) = self.core.obs.as_mut() {
+            obs.nodes[node.idx()].submitted += 1;
+        }
         if self.tracer.is_some() {
             self.trace(
                 node,
@@ -677,6 +852,78 @@ impl Runner {
         };
         self.macs[node.idx()].submit(&mut ctx, req);
         debug_assert!(delivered.is_empty(), "submit cannot deliver frames");
+    }
+
+    /// Close out the attached instrumentation and assemble its report.
+    /// Separate from [`Runner::collect`] so the `RunReport` never depends
+    /// on whether instrumentation was attached.
+    fn finish_obs(&mut self) -> Option<ObsReport> {
+        let mut obs = self.core.obs.take()?;
+        let now_ns = self.core.q.now().nanos();
+        for n in obs.nodes.iter_mut() {
+            n.close_tones(now_ns);
+        }
+        let snapshots = match obs.sampler.as_mut() {
+            Some(sampler) => {
+                // One final sample so the series always covers end of run.
+                let snap = self.snapshot_at(sampler.next_boundary_ns());
+                sampler.record(snap);
+                std::mem::take(&mut sampler.series)
+            }
+            None => Vec::new(),
+        };
+        let mut transition_labels: Vec<&'static str> = Vec::new();
+        for (i, mac) in self.macs.iter().enumerate() {
+            if let Some((labels, matrix)) = mac.transitions() {
+                if transition_labels.is_empty() {
+                    transition_labels = labels.to_vec();
+                }
+                obs.nodes[i].transitions = matrix;
+            }
+        }
+        let mut reg = Registry::new();
+        let counter = |reg: &mut Registry, name, v| {
+            let id = reg.counter(name);
+            reg.add(id, v);
+        };
+        let gauge = |reg: &mut Registry, name, v| {
+            let id = reg.gauge(name);
+            reg.set(id, v);
+        };
+        counter(&mut reg, "engine.events_popped", self.core.q.total_popped());
+        counter(&mut reg, "engine.events_pushed", self.core.q.total_pushed());
+        gauge(
+            &mut reg,
+            "queue.depth_high_water",
+            self.core.q.depth_high_water() as u64,
+        );
+        gauge(&mut reg, "queue.capacity", self.core.q.capacity() as u64);
+        let phy = self.core.channel.obs_stats();
+        counter(&mut reg, "phy.pool_hits", phy.pool_hits);
+        counter(&mut reg, "phy.pool_misses", phy.pool_misses);
+        if let Some(grid) = phy.grid {
+            counter(&mut reg, "grid.refreshes", grid.refreshes);
+            counter(&mut reg, "grid.rebuckets", grid.rebuckets);
+        }
+        counter(&mut reg, "fault.frames_corrupted", phy.faults_injected);
+        counter(
+            &mut reg,
+            "fault.crashes",
+            self.faults.as_ref().map_or(0, |f| f.crashes),
+        );
+        counter(
+            &mut reg,
+            "fault.jam_bursts",
+            self.faults.as_ref().map_or(0, |f| f.jam_bursts),
+        );
+        Some(ObsReport {
+            registry: reg,
+            kernel: obs.kernel,
+            timer_labels: &TIMER_LABELS,
+            transition_labels,
+            nodes: obs.nodes,
+            snapshots,
+        })
     }
 
     fn collect(self, seed: u64) -> RunReport {
@@ -755,6 +1002,7 @@ impl Runner {
             .map(|net| net.children(now).len() as f64)
             .filter(|&c| c > 0.0)
             .collect();
+        let frames = self.core.channel.frame_tallies();
 
         RunReport {
             protocol: self.protocol.label().to_string(),
@@ -781,6 +1029,10 @@ impl Runner {
             children_avg: mean(&children),
             children_p99: percentile(&children, 99.0),
             events: self.core.q.total_popped(),
+            tx_frames: frames.tx_frames,
+            tx_aborted: frames.tx_aborted,
+            rx_frames_ok: frames.rx_ok,
+            rx_frames_corrupt: frames.rx_corrupt,
             sim_secs: now.as_secs_f64(),
             faults_injected: self.core.channel.faults_injected(),
             fault_crashes: self.faults.as_ref().map_or(0, |f| f.crashes),

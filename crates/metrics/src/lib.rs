@@ -14,6 +14,6 @@ pub mod report;
 pub mod stats;
 pub mod table;
 
-pub use report::RunReport;
+pub use report::{RunReport, FRAME_KINDS, FRAME_KIND_LABELS};
 pub use stats::{percentile, OnlineStats};
-pub use table::Table;
+pub use table::{frame_kind_table, Table};

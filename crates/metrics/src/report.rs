@@ -1,5 +1,24 @@
 //! Per-replication result records.
 
+/// Number of distinct MAC frame kinds (wire discriminants 1..=9). Kept in
+/// sync with `rmac_wire::FrameKind` by the engine's unit tests; metrics
+/// stays wire-agnostic.
+pub const FRAME_KINDS: usize = 9;
+
+/// Frame-kind labels indexed like the per-kind arrays in [`RunReport`]
+/// (the `Debug` names of `rmac_wire::FrameKind`).
+pub const FRAME_KIND_LABELS: [&str; FRAME_KINDS] = [
+    "Mrts",
+    "Rts",
+    "Cts",
+    "Rak",
+    "Ack",
+    "Ncts",
+    "Nak",
+    "DataReliable",
+    "DataUnreliable",
+];
+
 /// Everything one simulation replication reports — the raw material for
 /// every figure in the paper's §4.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -51,8 +70,18 @@ pub struct RunReport {
     pub children_avg: f64,
     /// 99th percentile children count.
     pub children_p99: f64,
-    /// Simulation events processed (throughput diagnostics).
+    /// Simulation events processed (queue-level diagnostic; see the
+    /// per-kind frame counters below for MAC-level throughput).
     pub events: u64,
+    /// Completed frame transmissions by kind, indexed by
+    /// [`FRAME_KIND_LABELS`] (aborted ones included).
+    pub tx_frames: [u64; FRAME_KINDS],
+    /// Transmissions aborted mid-air (RMAC's RBT rule).
+    pub tx_aborted: u64,
+    /// Clean frame receptions by kind.
+    pub rx_frames_ok: [u64; FRAME_KINDS],
+    /// Corrupted frame receptions by kind.
+    pub rx_frames_corrupt: [u64; FRAME_KINDS],
     /// Simulated duration in seconds.
     pub sim_secs: f64,
     /// Frames corrupted by the fault plane (0 without an injector).
@@ -83,6 +112,15 @@ impl RunReport {
         let maxf =
             |f: &dyn Fn(&RunReport) -> f64| reports.iter().map(f).fold(f64::NEG_INFINITY, f64::max);
         let sum_u = |f: &dyn Fn(&RunReport) -> u64| reports.iter().map(f).sum::<u64>();
+        let sum_arr = |f: &dyn Fn(&RunReport) -> &[u64; FRAME_KINDS]| {
+            let mut out = [0u64; FRAME_KINDS];
+            for r in reports {
+                for (o, v) in out.iter_mut().zip(f(r).iter()) {
+                    *o += v;
+                }
+            }
+            out
+        };
         RunReport {
             protocol: reports[0].protocol.clone(),
             scenario: reports[0].scenario.clone(),
@@ -108,6 +146,10 @@ impl RunReport {
             children_avg: mean(&|r| r.children_avg),
             children_p99: mean(&|r| r.children_p99),
             events: sum_u(&|r| r.events),
+            tx_frames: sum_arr(&|r| &r.tx_frames),
+            tx_aborted: sum_u(&|r| r.tx_aborted),
+            rx_frames_ok: sum_arr(&|r| &r.rx_frames_ok),
+            rx_frames_corrupt: sum_arr(&|r| &r.rx_frames_corrupt),
             sim_secs: mean(&|r| r.sim_secs),
             faults_injected: sum_u(&|r| r.faults_injected),
             fault_crashes: sum_u(&|r| r.fault_crashes),
@@ -194,6 +236,21 @@ mod tests {
     #[should_panic(expected = "average of zero")]
     fn average_of_none_panics() {
         RunReport::average(&[]);
+    }
+
+    #[test]
+    fn average_sums_frame_kind_arrays() {
+        let mut a = report(70, 74, 0.0);
+        let mut b = report(74, 74, 0.0);
+        a.tx_frames[0] = 5;
+        b.tx_frames[0] = 7;
+        a.rx_frames_corrupt[8] = 2;
+        b.tx_aborted = 3;
+        let avg = RunReport::average(&[a, b]);
+        assert_eq!(avg.tx_frames[0], 12);
+        assert_eq!(avg.rx_frames_corrupt[8], 2);
+        assert_eq!(avg.tx_aborted, 3);
+        assert_eq!(avg.tx_frames[1..].iter().sum::<u64>(), 0);
     }
 
     #[test]

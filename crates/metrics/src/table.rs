@@ -105,6 +105,29 @@ pub fn fmt(v: f64, d: usize) -> String {
     format!("{v:.d$}")
 }
 
+/// The per-frame-kind tx/rx breakdown of a [`RunReport`](crate::RunReport)
+/// as a table, one row per kind that saw any traffic.
+pub fn frame_kind_table(r: &crate::RunReport) -> Table {
+    use crate::report::{FRAME_KINDS, FRAME_KIND_LABELS};
+    let mut t = Table::new(
+        format!("Frames by kind ({} / {})", r.protocol, r.scenario),
+        &["kind", "tx", "rx_ok", "rx_corrupt"],
+    );
+    for (k, label) in FRAME_KIND_LABELS.iter().enumerate().take(FRAME_KINDS) {
+        let (tx, ok, bad) = (r.tx_frames[k], r.rx_frames_ok[k], r.rx_frames_corrupt[k]);
+        if tx == 0 && ok == 0 && bad == 0 {
+            continue;
+        }
+        t.row(vec![
+            label.to_string(),
+            tx.to_string(),
+            ok.to_string(),
+            bad.to_string(),
+        ]);
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,5 +167,23 @@ mod tests {
     fn fmt_decimals() {
         assert_eq!(fmt(1.23456, 3), "1.235");
         assert_eq!(fmt(0.5, 0), "0");
+    }
+
+    #[test]
+    fn frame_kind_table_skips_idle_kinds() {
+        let mut r = crate::RunReport {
+            protocol: "RMAC".into(),
+            scenario: "stationary".into(),
+            ..Default::default()
+        };
+        r.tx_frames[0] = 12; // Mrts
+        r.rx_frames_ok[7] = 40; // DataReliable
+        r.rx_frames_corrupt[7] = 3;
+        let t = frame_kind_table(&r);
+        assert_eq!(t.len(), 2, "only active kinds get rows");
+        let s = t.render();
+        assert!(s.contains("Mrts"));
+        assert!(s.contains("DataReliable"));
+        assert!(!s.contains("Nak"));
     }
 }

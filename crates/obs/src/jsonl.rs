@@ -1,0 +1,248 @@
+//! A minimal parser for the workspace's flat JSON-lines records.
+//!
+//! The trace and snapshot sinks emit one flat JSON object per line whose
+//! values are only numbers, booleans, or escape-free strings (the schema
+//! is documented in `rmac_engine::trace`). The workspace carries no JSON
+//! dependency, so this module hand-rolls exactly that subset — enough for
+//! the `obs_report` toolchain and the schema conformance tests, with `\"`
+//! and `\\` escapes accepted defensively.
+
+/// A parsed JSON scalar.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// Any JSON number (integers included).
+    Num(f64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// A string.
+    Str(String),
+}
+
+impl JsonValue {
+    /// The value as an integer, if it is a whole number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Look a key up in a parsed record.
+pub fn get<'a>(fields: &'a [(String, JsonValue)], key: &str) -> Option<&'a JsonValue> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+struct Scanner<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Scanner<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        self.skip_ws();
+        if self.pos < self.bytes.len() && self.bytes[self.pos] == b {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn string(&mut self) -> Option<String> {
+        if !self.eat(b'"') {
+            return None;
+        }
+        let mut out = String::new();
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'"' => {
+                    self.pos += 1;
+                    return Some(out);
+                }
+                b'\\' => {
+                    let esc = *self.bytes.get(self.pos + 1)?;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        _ => return None,
+                    }
+                    self.pos += 2;
+                }
+                b => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+            }
+        }
+        None
+    }
+
+    fn value(&mut self) -> Option<JsonValue> {
+        match self.peek()? {
+            b'"' => self.string().map(JsonValue::Str),
+            b't' => self.keyword("true").map(|_| JsonValue::Bool(true)),
+            b'f' => self.keyword("false").map(|_| JsonValue::Bool(false)),
+            _ => self.number(),
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> Option<()> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn number(&mut self) -> Option<JsonValue> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.bytes.len()
+            && matches!(
+                self.bytes[self.pos],
+                b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'
+            )
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()?
+            .parse::<f64>()
+            .ok()
+            .map(JsonValue::Num)
+    }
+}
+
+/// Parse one flat JSON object (no nesting, no arrays) into its key/value
+/// pairs, in source order. Returns `None` on any syntax deviation —
+/// conformance tests rely on this strictness.
+pub fn parse_flat(line: &str) -> Option<Vec<(String, JsonValue)>> {
+    let mut s = Scanner {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    if !s.eat(b'{') {
+        return None;
+    }
+    let mut fields = Vec::new();
+    if s.eat(b'}') {
+        return finishing(s, fields);
+    }
+    loop {
+        let key = s.string()?;
+        if !s.eat(b':') {
+            return None;
+        }
+        fields.push((key, s.value()?));
+        if s.eat(b',') {
+            continue;
+        }
+        if s.eat(b'}') {
+            return finishing(s, fields);
+        }
+        return None;
+    }
+}
+
+fn finishing(
+    mut s: Scanner<'_>,
+    fields: Vec<(String, JsonValue)>,
+) -> Option<Vec<(String, JsonValue)>> {
+    s.skip_ws();
+    if s.pos == s.bytes.len() {
+        Some(fields)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_mixed_flat_object() {
+        let f = parse_flat(r#"{"t_ns":1500,"ev":"rx","ok":true,"x":-2.5}"#).unwrap();
+        assert_eq!(f.len(), 4);
+        assert_eq!(get(&f, "t_ns").unwrap().as_u64(), Some(1500));
+        assert_eq!(get(&f, "ev").unwrap().as_str(), Some("rx"));
+        assert_eq!(get(&f, "ok").unwrap().as_bool(), Some(true));
+        assert_eq!(get(&f, "x").unwrap().as_f64(), Some(-2.5));
+        assert!(get(&f, "missing").is_none());
+    }
+
+    #[test]
+    fn empty_object_parses() {
+        assert_eq!(parse_flat("{}").unwrap(), vec![]);
+        assert_eq!(parse_flat("  { }  ").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "",
+            "{",
+            "}",
+            r#"{"a":}"#,
+            r#"{"a":1,}"#,
+            r#"{"a":1} trailing"#,
+            r#"{"a":[1]}"#,
+            r#"{"a":{"b":1}}"#,
+            r#"{a:1}"#,
+        ] {
+            assert!(parse_flat(bad).is_none(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let f = parse_flat(r#"{"s":"a\"b\\c"}"#).unwrap();
+        assert_eq!(get(&f, "s").unwrap().as_str(), Some(r#"a"b\c"#));
+    }
+
+    #[test]
+    fn type_coercions_are_strict() {
+        let f = parse_flat(r#"{"n":1.5,"b":false,"s":"x"}"#).unwrap();
+        assert_eq!(get(&f, "n").unwrap().as_u64(), None);
+        assert_eq!(get(&f, "b").unwrap().as_bool(), Some(false));
+        assert_eq!(get(&f, "s").unwrap().as_f64(), None);
+    }
+}

@@ -1,0 +1,162 @@
+//! Event-loop self-profiling.
+//!
+//! A [`KernelProfiler`] classifies every dispatched simulation event into
+//! an embedder-defined class (PHY frame end, MAC timer, beacon, …) and
+//! accumulates a per-class count plus, when wall-clock timing is enabled,
+//! a log-bucketed histogram of the dispatch's wall time. Wall-clock
+//! readings live entirely outside the simulation's determinism domain —
+//! they are taken around the dispatch, never fed back into it.
+
+use std::fmt::Write as _;
+
+use crate::hist::LogHistogram;
+
+/// Per-event-class dispatch profile.
+#[derive(Clone, Debug)]
+pub struct KernelProfiler {
+    labels: &'static [&'static str],
+    wall: bool,
+    counts: Vec<u64>,
+    wall_ns: Vec<LogHistogram>,
+}
+
+impl KernelProfiler {
+    /// A profiler over the given event classes. `wall` enables wall-clock
+    /// histograms (the embedder takes the actual readings).
+    pub fn new(labels: &'static [&'static str], wall: bool) -> KernelProfiler {
+        KernelProfiler {
+            labels,
+            wall,
+            counts: vec![0; labels.len()],
+            wall_ns: vec![LogHistogram::new(); labels.len()],
+        }
+    }
+
+    /// Whether the embedder should take wall-clock readings.
+    #[inline]
+    pub fn wall_enabled(&self) -> bool {
+        self.wall
+    }
+
+    /// Count one dispatch of `class` without a timing.
+    #[inline]
+    pub fn count(&mut self, class: usize) {
+        self.counts[class] += 1;
+    }
+
+    /// Count one dispatch of `class` that took `ns` wall-clock nanoseconds.
+    #[inline]
+    pub fn record_ns(&mut self, class: usize, ns: u64) {
+        self.counts[class] += 1;
+        self.wall_ns[class].record(ns);
+    }
+
+    /// The class labels.
+    pub fn labels(&self) -> &'static [&'static str] {
+        self.labels
+    }
+
+    /// Dispatch count for one class.
+    pub fn class_count(&self, class: usize) -> u64 {
+        self.counts[class]
+    }
+
+    /// Total dispatches across classes.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Wall-time histogram for one class.
+    pub fn class_wall(&self, class: usize) -> &LogHistogram {
+        &self.wall_ns[class]
+    }
+
+    /// JSON object keyed by class label.
+    pub fn to_json(&self) -> String {
+        let classes = self
+            .labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| {
+                format!(
+                    "\"{l}\":{{\"count\":{},\"wall_ns\":{}}}",
+                    self.counts[i],
+                    self.wall_ns[i].to_json()
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        format!("{{\"wall_clock\":{},\"classes\":{{{classes}}}}}", self.wall)
+    }
+
+    /// Aligned per-class profile table (counts, and wall stats when
+    /// timed).
+    pub fn render(&self) -> String {
+        let width = self.labels.iter().map(|l| l.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for (i, l) in self.labels.iter().enumerate() {
+            if self.counts[i] == 0 {
+                continue;
+            }
+            if self.wall && !self.wall_ns[i].is_empty() {
+                let _ = writeln!(
+                    out,
+                    "{l:<width$}  {:>10}  wall {}",
+                    self.counts[i],
+                    self.wall_ns[i].summary_line()
+                );
+            } else {
+                let _ = writeln!(out, "{l:<width$}  {:>10}", self.counts[i]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LABELS: [&str; 3] = ["phy", "timer", "beacon"];
+
+    #[test]
+    fn counts_without_wall_clock() {
+        let mut k = KernelProfiler::new(&LABELS, false);
+        assert!(!k.wall_enabled());
+        k.count(0);
+        k.count(0);
+        k.count(2);
+        assert_eq!(k.class_count(0), 2);
+        assert_eq!(k.class_count(1), 0);
+        assert_eq!(k.total(), 3);
+        assert!(k.class_wall(0).is_empty());
+    }
+
+    #[test]
+    fn wall_records_feed_histograms() {
+        let mut k = KernelProfiler::new(&LABELS, true);
+        k.record_ns(1, 500);
+        k.record_ns(1, 700);
+        assert_eq!(k.class_count(1), 2);
+        assert_eq!(k.class_wall(1).sum(), 1200);
+    }
+
+    #[test]
+    fn render_skips_empty_classes() {
+        let mut k = KernelProfiler::new(&LABELS, false);
+        k.count(1);
+        let s = k.render();
+        assert!(s.contains("timer"));
+        assert!(!s.contains("beacon"));
+    }
+
+    #[test]
+    fn json_keys_every_class() {
+        let k = KernelProfiler::new(&LABELS, true);
+        let j = k.to_json();
+        for l in LABELS {
+            assert!(j.contains(l));
+        }
+        assert!(j.contains("\"wall_clock\":true"));
+    }
+}

@@ -1,0 +1,51 @@
+//! # rmac-obs — zero-cost-when-off instrumentation
+//!
+//! A structured observability layer for the RMAC simulator, designed
+//! around two hard rules:
+//!
+//! 1. **~Zero cost when off.** Disabled instrumentation is an `Option`
+//!    check (or nothing at all) on the hot path; no allocation, no
+//!    hashing, no I/O. The `obs_overhead` bench and
+//!    `results/BENCH_obs.json` track this.
+//! 2. **Never perturbs results when on.** Instrumentation only *observes*
+//!    deterministic simulation state; it draws from no RNG stream and
+//!    schedules no events. Wall-clock readings (the kernel profiler) are
+//!    collected outside the simulation's determinism domain. A fully
+//!    instrumented run's `RunReport` is bit-identical to an
+//!    uninstrumented one — property-tested in `tests/obs_determinism.rs`.
+//!
+//! The pieces:
+//!
+//! * [`registry`] — named counters / high-water gauges / histograms with
+//!   typed ids (hot-path updates are an array index).
+//! * [`hist`] — [`LogHistogram`], power-of-two-bucketed latency
+//!   histograms.
+//! * [`kernel`] — [`KernelProfiler`], wall-clock-per-event-class
+//!   self-profiling of the event loop.
+//! * [`node`] — [`NodeObs`], per-node protocol counters: per-`FrameKind`
+//!   tx/rx/corrupt, timer arm/fire/stale, busy-tone occupancy, and the
+//!   state-machine transition matrix (the paper's Table 1 edges, as
+//!   executed).
+//! * [`snapshot`] — [`Sampler`]/[`Snapshot`], the deterministic
+//!   sim-time-driven time series.
+//! * [`report`] — [`ObsReport`], everything assembled, with ASCII and
+//!   JSON rendering.
+//! * [`jsonl`]/[`render`] — the flat-JSONL parser and the Fig. 4-style
+//!   timeline renderer behind the `obs_report` bin.
+
+pub mod hist;
+pub mod jsonl;
+pub mod kernel;
+pub mod node;
+pub mod registry;
+pub mod render;
+pub mod report;
+pub mod snapshot;
+
+pub use hist::LogHistogram;
+pub use kernel::KernelProfiler;
+pub use node::{frame_kind_index, NodeObs, FRAME_KINDS, FRAME_KIND_LABELS, TONES, TONE_LABELS};
+pub use registry::{CounterId, GaugeId, HistId, Registry};
+pub use render::{parse_trace_line, render_timeline, TraceRecord};
+pub use report::ObsReport;
+pub use snapshot::{Sampler, Snapshot};

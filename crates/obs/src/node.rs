@@ -1,0 +1,233 @@
+//! Per-node protocol observability.
+//!
+//! One [`NodeObs`] per protocol node accumulates what the engine can see
+//! at the MAC boundary: per-[`FrameKind`] tx/rx/corrupt tallies, timer
+//! arm/fire/stale counts per logical timer kind, busy-tone occupancy time,
+//! and (for MACs that expose one) the state-machine transition matrix —
+//! the observed edges of the paper's Table 1.
+
+use rmac_wire::FrameKind;
+
+/// Number of distinct [`FrameKind`]s (discriminants 1..=9).
+pub const FRAME_KINDS: usize = 9;
+
+/// Labels matching `FrameKind`'s `Debug` names (the trace schema's `kind`
+/// strings), indexed by [`frame_kind_index`].
+pub const FRAME_KIND_LABELS: [&str; FRAME_KINDS] = [
+    "Mrts",
+    "Rts",
+    "Cts",
+    "Rak",
+    "Ack",
+    "Ncts",
+    "Nak",
+    "DataReliable",
+    "DataUnreliable",
+];
+
+/// Dense 0-based index for a [`FrameKind`].
+#[inline]
+pub fn frame_kind_index(kind: FrameKind) -> usize {
+    kind as usize - 1
+}
+
+/// Number of tone channels observed (RBT, ABT).
+pub const TONES: usize = 2;
+
+/// Labels for the tone indices.
+pub const TONE_LABELS: [&str; TONES] = ["RBT", "ABT"];
+
+/// Per-node protocol counters. All fields are cumulative over one run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct NodeObs {
+    /// Completed transmissions by frame kind (aborted ones included).
+    pub tx: [u64; FRAME_KINDS],
+    /// Transmissions aborted mid-air (RMAC's RBT rule).
+    pub tx_aborted: u64,
+    /// Clean receptions by frame kind.
+    pub rx_ok: [u64; FRAME_KINDS],
+    /// Corrupted receptions by frame kind.
+    pub rx_corrupt: [u64; FRAME_KINDS],
+    /// Upper-layer transmit requests handed to this node's MAC.
+    pub submitted: u64,
+    /// Data frames the MAC delivered up to the network layer.
+    pub delivered: u64,
+    /// Timer arms by timer-kind index (labels supplied by the embedder).
+    pub timer_arm: Vec<u64>,
+    /// Timer firings dispatched to a live MAC incarnation.
+    pub timer_fire: Vec<u64>,
+    /// Timer firings dropped as stale (crashed node or old epoch).
+    pub timer_stale: Vec<u64>,
+    /// Cumulative sensed busy-tone presence per tone channel (ns).
+    pub tone_busy_ns: [u64; TONES],
+    /// Open tone intervals: when presence last rose (ns), per channel.
+    tone_since: [Option<u64>; TONES],
+    /// Row-major `n × n` state transition counts, if the MAC exposed them.
+    pub transitions: Vec<u64>,
+}
+
+impl NodeObs {
+    /// A node record tracking `timer_kinds` logical timer kinds.
+    pub fn new(timer_kinds: usize) -> NodeObs {
+        NodeObs {
+            timer_arm: vec![0; timer_kinds],
+            timer_fire: vec![0; timer_kinds],
+            timer_stale: vec![0; timer_kinds],
+            ..NodeObs::default()
+        }
+    }
+
+    /// Record a sensed tone presence edge at `now_ns`.
+    pub fn tone_edge(&mut self, tone: usize, present: bool, now_ns: u64) {
+        if present {
+            // A second rising edge without a falling one keeps the
+            // earlier start (presence is level-triggered at the PHY).
+            if self.tone_since[tone].is_none() {
+                self.tone_since[tone] = Some(now_ns);
+            }
+        } else if let Some(since) = self.tone_since[tone].take() {
+            self.tone_busy_ns[tone] += now_ns.saturating_sub(since);
+        }
+    }
+
+    /// Close any tone intervals still open at end of run.
+    pub fn close_tones(&mut self, now_ns: u64) {
+        for t in 0..TONES {
+            self.tone_edge(t, false, now_ns);
+        }
+    }
+
+    /// Total completed transmissions across all frame kinds.
+    pub fn tx_total(&self) -> u64 {
+        self.tx.iter().sum()
+    }
+
+    /// Total clean receptions.
+    pub fn rx_ok_total(&self) -> u64 {
+        self.rx_ok.iter().sum()
+    }
+
+    /// Total corrupted receptions.
+    pub fn rx_corrupt_total(&self) -> u64 {
+        self.rx_corrupt.iter().sum()
+    }
+
+    /// Total timer arms across kinds.
+    pub fn timer_arm_total(&self) -> u64 {
+        self.timer_arm.iter().sum()
+    }
+
+    /// Total live timer firings.
+    pub fn timer_fire_total(&self) -> u64 {
+        self.timer_fire.iter().sum()
+    }
+
+    /// Total stale timer firings dropped.
+    pub fn timer_stale_total(&self) -> u64 {
+        self.timer_stale.iter().sum()
+    }
+
+    /// JSON object for this node (arrays indexed like the label tables).
+    pub fn to_json(&self) -> String {
+        let arr = |v: &[u64]| {
+            v.iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        format!(
+            "{{\"tx\":[{}],\"tx_aborted\":{},\"rx_ok\":[{}],\"rx_corrupt\":[{}],\
+             \"submitted\":{},\"delivered\":{},\"timer_arm\":[{}],\"timer_fire\":[{}],\
+             \"timer_stale\":[{}],\"tone_busy_ns\":[{}],\"transitions\":[{}]}}",
+            arr(&self.tx),
+            self.tx_aborted,
+            arr(&self.rx_ok),
+            arr(&self.rx_corrupt),
+            self.submitted,
+            self.delivered,
+            arr(&self.timer_arm),
+            arr(&self.timer_fire),
+            arr(&self.timer_stale),
+            arr(&self.tone_busy_ns),
+            arr(&self.transitions),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_kind_indices_are_dense_and_labelled() {
+        assert_eq!(frame_kind_index(FrameKind::Mrts), 0);
+        assert_eq!(frame_kind_index(FrameKind::DataUnreliable), 8);
+        assert_eq!(FRAME_KIND_LABELS[frame_kind_index(FrameKind::Mrts)], "Mrts");
+        assert_eq!(
+            FRAME_KIND_LABELS[frame_kind_index(FrameKind::DataReliable)],
+            "DataReliable"
+        );
+    }
+
+    #[test]
+    fn tone_occupancy_accumulates_closed_intervals() {
+        let mut n = NodeObs::new(4);
+        n.tone_edge(0, true, 100);
+        n.tone_edge(0, false, 350);
+        assert_eq!(n.tone_busy_ns[0], 250);
+        // A duplicate rising edge keeps the earlier start.
+        n.tone_edge(1, true, 1000);
+        n.tone_edge(1, true, 2000);
+        n.tone_edge(1, false, 3000);
+        assert_eq!(n.tone_busy_ns[1], 2000);
+    }
+
+    #[test]
+    fn open_intervals_close_at_end_of_run() {
+        let mut n = NodeObs::new(4);
+        n.tone_edge(0, true, 500);
+        n.close_tones(800);
+        assert_eq!(n.tone_busy_ns[0], 300);
+        // A falling edge without a rising one is a no-op.
+        n.close_tones(900);
+        assert_eq!(n.tone_busy_ns[0], 300);
+    }
+
+    #[test]
+    fn totals_sum_over_kinds() {
+        let mut n = NodeObs::new(2);
+        n.tx[0] = 3;
+        n.tx[7] = 2;
+        n.rx_ok[1] = 5;
+        n.rx_corrupt[1] = 1;
+        n.timer_arm[0] = 4;
+        n.timer_fire[1] = 2;
+        assert_eq!(n.tx_total(), 5);
+        assert_eq!(n.rx_ok_total(), 5);
+        assert_eq!(n.rx_corrupt_total(), 1);
+        assert_eq!(n.timer_arm_total(), 4);
+        assert_eq!(n.timer_fire_total(), 2);
+        assert_eq!(n.timer_stale_total(), 0);
+    }
+
+    #[test]
+    fn json_has_every_field() {
+        let n = NodeObs::new(2);
+        let j = n.to_json();
+        for key in [
+            "tx",
+            "tx_aborted",
+            "rx_ok",
+            "rx_corrupt",
+            "submitted",
+            "delivered",
+            "timer_arm",
+            "timer_fire",
+            "timer_stale",
+            "tone_busy_ns",
+            "transitions",
+        ] {
+            assert!(j.contains(key), "{j} missing {key}");
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! The metric registry: named counters, high-water gauges, and histograms.
+//!
+//! Embedders register metrics once at setup time and hold the returned
+//! typed ids; hot-path updates are then a bounds-checked array index and
+//! an integer op — no hashing, no locking, no allocation. The registry is
+//! purely an accumulator: it never draws from any RNG stream and never
+//! schedules events, so it lives outside the simulation's determinism
+//! domain by construction.
+
+use std::fmt::Write as _;
+
+use crate::hist::LogHistogram;
+
+/// Handle to a registered counter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a registered gauge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle to a registered histogram.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistId(usize);
+
+/// A flat collection of named metrics.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    counters: Vec<(&'static str, u64)>,
+    gauges: Vec<(&'static str, u64)>,
+    hists: Vec<(&'static str, LogHistogram)>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Register a monotonically increasing counter.
+    pub fn counter(&mut self, name: &'static str) -> CounterId {
+        self.counters.push((name, 0));
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Register a gauge (used here for level/high-water readings).
+    pub fn gauge(&mut self, name: &'static str) -> GaugeId {
+        self.gauges.push((name, 0));
+        GaugeId(self.gauges.len() - 1)
+    }
+
+    /// Register a log-bucketed histogram.
+    pub fn hist(&mut self, name: &'static str) -> HistId {
+        self.hists.push((name, LogHistogram::new()));
+        HistId(self.hists.len() - 1)
+    }
+
+    /// Increment a counter by one.
+    #[inline]
+    pub fn inc(&mut self, id: CounterId) {
+        self.counters[id.0].1 += 1;
+    }
+
+    /// Increment a counter by `n`.
+    #[inline]
+    pub fn add(&mut self, id: CounterId, n: u64) {
+        self.counters[id.0].1 += n;
+    }
+
+    /// Set a gauge to `v`.
+    #[inline]
+    pub fn set(&mut self, id: GaugeId, v: u64) {
+        self.gauges[id.0].1 = v;
+    }
+
+    /// Raise a gauge to `v` if `v` exceeds its current value (high-water
+    /// marking).
+    #[inline]
+    pub fn hiwat(&mut self, id: GaugeId, v: u64) {
+        let g = &mut self.gauges[id.0].1;
+        if v > *g {
+            *g = v;
+        }
+    }
+
+    /// Record a histogram sample.
+    #[inline]
+    pub fn observe(&mut self, id: HistId, v: u64) {
+        self.hists[id.0].1.record(v);
+    }
+
+    /// Look a metric up by name (counters first, then gauges). Intended
+    /// for tests and report rendering, not hot paths.
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .chain(self.gauges.iter())
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Look a histogram up by name.
+    pub fn get_hist(&self, name: &str) -> Option<&LogHistogram> {
+        self.hists.iter().find(|(n, _)| *n == name).map(|(_, h)| h)
+    }
+
+    /// All counters as `(name, value)`.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().copied()
+    }
+
+    /// All gauges as `(name, value)`.
+    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.gauges.iter().copied()
+    }
+
+    /// All histograms as `(name, histogram)`.
+    pub fn hists(&self) -> impl Iterator<Item = (&'static str, &LogHistogram)> + '_ {
+        self.hists.iter().map(|(n, h)| (*n, h))
+    }
+
+    /// JSON object with `counters`, `gauges` and `hists` sections.
+    pub fn to_json(&self) -> String {
+        let kv = |items: &[(&'static str, u64)]| {
+            items
+                .iter()
+                .map(|(n, v)| format!("\"{n}\":{v}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let hists = self
+            .hists
+            .iter()
+            .map(|(n, h)| format!("\"{n}\":{}", h.to_json()))
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"counters\":{{{}}},\"gauges\":{{{}}},\"hists\":{{{}}}}}",
+            kv(&self.counters),
+            kv(&self.gauges),
+            hists
+        )
+    }
+
+    /// Aligned plain-text dump of every metric.
+    pub fn render(&self) -> String {
+        let width = self
+            .counters
+            .iter()
+            .map(|(n, _)| n.len())
+            .chain(self.gauges.iter().map(|(n, _)| n.len()))
+            .chain(self.hists.iter().map(|(n, _)| n.len()))
+            .max()
+            .unwrap_or(0);
+        let mut out = String::new();
+        for (n, v) in &self.counters {
+            let _ = writeln!(out, "{n:<width$}  {v}");
+        }
+        for (n, v) in &self.gauges {
+            let _ = writeln!(out, "{n:<width$}  {v}");
+        }
+        for (n, h) in &self.hists {
+            let _ = writeln!(out, "{n:<width$}  {}", h.summary_line());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let mut r = Registry::new();
+        let c = r.counter("events");
+        let g = r.gauge("queue_high_water");
+        r.inc(c);
+        r.add(c, 4);
+        r.hiwat(g, 10);
+        r.hiwat(g, 3);
+        assert_eq!(r.get("events"), Some(5));
+        assert_eq!(r.get("queue_high_water"), Some(10));
+        assert_eq!(r.get("missing"), None);
+    }
+
+    #[test]
+    fn histograms_record_through_ids() {
+        let mut r = Registry::new();
+        let h = r.hist("dispatch_ns");
+        r.observe(h, 100);
+        r.observe(h, 200);
+        let hist = r.get_hist("dispatch_ns").unwrap();
+        assert_eq!(hist.count(), 2);
+        assert_eq!(hist.sum(), 300);
+    }
+
+    #[test]
+    fn json_contains_every_section() {
+        let mut r = Registry::new();
+        let c = r.counter("a");
+        r.inc(c);
+        r.gauge("b");
+        let h = r.hist("c");
+        r.observe(h, 7);
+        let j = r.to_json();
+        assert!(j.contains("\"a\":1"));
+        assert!(j.contains("\"b\":0"));
+        assert!(j.contains("\"c\":{\"count\":1"));
+    }
+
+    #[test]
+    fn render_lists_all_names() {
+        let mut r = Registry::new();
+        r.counter("alpha");
+        r.gauge("beta");
+        r.hist("gamma");
+        let s = r.render();
+        assert!(s.contains("alpha"));
+        assert!(s.contains("beta"));
+        assert!(s.contains("gamma"));
+    }
+}

@@ -8,7 +8,7 @@ use rmac_wire::consts::SPEED_OF_LIGHT;
 use rmac_wire::{Frame, NodeId};
 
 use crate::event::{Indication, PhyEvent};
-use crate::grid::{IndexMode, SpatialGrid};
+use crate::grid::{GridStats, IndexMode, SpatialGrid};
 use crate::tone::{ActiveWatch, Tone, ToneLog};
 
 /// Identifier of one transmission on the data channel.
@@ -151,6 +151,49 @@ pub struct Channel {
     tone_pool: Vec<Vec<(NodeId, SimTime)>>,
     /// Scratch for grid candidate indices.
     cand_scratch: Vec<u16>,
+    /// Buffer requests served from a pool (observability).
+    pool_hits: u64,
+    /// Buffer requests that had to allocate (observability).
+    pool_misses: u64,
+    /// Always-on per-frame-kind frame tallies (see [`FrameTallies`]).
+    frames: FrameTallies,
+}
+
+/// Number of [`rmac_wire::FrameKind`] variants; one tally slot per kind,
+/// indexed by `kind as usize - 1`. Must agree with the copies in
+/// `rmac-metrics` and `rmac-obs` (the engine unit-tests the agreement).
+pub const FRAME_KINDS: usize = 9;
+
+/// Cumulative per-frame-kind tallies, counted where the channel creates
+/// the corresponding indications — the frame kind is statically known
+/// there, so the always-on counting costs straight-line increments on
+/// branches the PHY already takes. "As seen at the PHY": receptions at
+/// crashed nodes count here even though their MACs never see the frame.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FrameTallies {
+    /// Completed transmissions by kind (aborted ones included).
+    pub tx_frames: [u64; FRAME_KINDS],
+    /// How many of those transmissions were aborted mid-air.
+    pub tx_aborted: u64,
+    /// Receptions delivered clean, by kind.
+    pub rx_ok: [u64; FRAME_KINDS],
+    /// Receptions delivered corrupted, by kind.
+    pub rx_corrupt: [u64; FRAME_KINDS],
+}
+
+/// Cumulative channel-internal counters for the observability layer:
+/// allocation-diet effectiveness and spatial-index maintenance. Reading
+/// them never affects simulation results.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhyObs {
+    /// Receiver-buffer requests served by recycling a pooled buffer.
+    pub pool_hits: u64,
+    /// Receiver-buffer requests that allocated a fresh buffer.
+    pub pool_misses: u64,
+    /// Spatial-grid maintenance counters (`None` in brute-force mode).
+    pub grid: Option<GridStats>,
+    /// Frames corrupted by the attached fault hook.
+    pub faults_injected: u64,
 }
 
 impl Channel {
@@ -175,6 +218,52 @@ impl Channel {
             rx_pool: Vec::new(),
             tone_pool: Vec::new(),
             cand_scratch: Vec::new(),
+            pool_hits: 0,
+            pool_misses: 0,
+            frames: FrameTallies::default(),
+        }
+    }
+
+    /// The always-on per-frame-kind tallies.
+    pub fn frame_tallies(&self) -> FrameTallies {
+        self.frames
+    }
+
+    /// Cumulative channel-internal observability counters.
+    pub fn obs_stats(&self) -> PhyObs {
+        PhyObs {
+            pool_hits: self.pool_hits,
+            pool_misses: self.pool_misses,
+            grid: self.grid.as_ref().map(|g| g.stats()),
+            faults_injected: self.faults_injected(),
+        }
+    }
+
+    /// Pop a recycled receiver-triple buffer, counting hit or miss.
+    fn pooled_rx_buf(&mut self) -> Vec<(NodeId, SimTime, f64)> {
+        match self.rx_pool.pop() {
+            Some(buf) => {
+                self.pool_hits += 1;
+                buf
+            }
+            None => {
+                self.pool_misses += 1;
+                Vec::new()
+            }
+        }
+    }
+
+    /// Pop a recycled tone receiver buffer, counting hit or miss.
+    fn pooled_tone_buf(&mut self) -> Vec<(NodeId, SimTime)> {
+        match self.tone_pool.pop() {
+            Some(buf) => {
+                self.pool_hits += 1;
+                buf
+            }
+            None => {
+                self.pool_misses += 1;
+                Vec::new()
+            }
         }
     }
 
@@ -206,7 +295,7 @@ impl Channel {
     /// All nodes within radio range of `node` at time `t` (excluding
     /// `node` itself), in ascending id order.
     pub fn neighbors_at(&mut self, node: NodeId, t: SimTime) -> Vec<NodeId> {
-        let mut buf = self.rx_pool.pop().unwrap_or_default();
+        let mut buf = self.pooled_rx_buf();
         self.fill_receivers(node, t, &mut buf);
         let out = buf.iter().map(|&(rx, _, _)| rx).collect();
         buf.clear();
@@ -296,7 +385,7 @@ impl Channel {
         );
         let id = self.next_tx;
         self.next_tx += 1;
-        let mut receivers = self.rx_pool.pop().unwrap_or_default();
+        let mut receivers = self.pooled_rx_buf();
         self.fill_receivers(src, now, &mut receivers);
         let end = now + frame.airtime();
         for &(rx, prop, power) in &receivers {
@@ -369,9 +458,9 @@ impl Channel {
         let now = q.now();
         let id = self.next_emit;
         self.next_emit += 1;
-        let mut triples = self.rx_pool.pop().unwrap_or_default();
+        let mut triples = self.pooled_rx_buf();
         self.fill_receivers(src, now, &mut triples);
-        let mut receivers = self.tone_pool.pop().unwrap_or_default();
+        let mut receivers = self.pooled_tone_buf();
         receivers.extend(triples.iter().map(|&(rx, prop, _)| (rx, prop)));
         triples.clear();
         self.rx_pool.push(triples);
@@ -607,6 +696,12 @@ impl Channel {
             }
         }
 
+        let kind_slot = frame.kind as usize - 1;
+        if corrupted {
+            self.frames.rx_corrupt[kind_slot] += 1;
+        } else {
+            self.frames.rx_ok[kind_slot] += 1;
+        }
         out.push(Indication::FrameRx {
             node: rx,
             frame,
@@ -642,6 +737,10 @@ impl Channel {
         }
         debug_assert_eq!(self.radios[node.idx()].transmitting, Some(tx));
         self.radios[node.idx()].transmitting = None;
+        self.frames.tx_frames[frame.kind as usize - 1] += 1;
+        if aborted {
+            self.frames.tx_aborted += 1;
+        }
         out.push(Indication::TxDone {
             node,
             frame,

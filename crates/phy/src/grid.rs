@@ -80,6 +80,20 @@ pub struct SpatialGrid {
     movers: Vec<u16>,
     built: bool,
     next_refresh: SimTime,
+    /// Refresh passes over the mover list (observability).
+    refreshes: u64,
+    /// Movers actually moved between buckets (observability).
+    rebuckets: u64,
+}
+
+/// Cumulative grid maintenance counters, exposed for the observability
+/// layer. Pure observation: reading them never changes query results.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GridStats {
+    /// Refresh passes over the mover list.
+    pub refreshes: u64,
+    /// Mover re-bucket operations (cell actually changed).
+    pub rebuckets: u64,
 }
 
 impl SpatialGrid {
@@ -95,6 +109,16 @@ impl SpatialGrid {
             movers: Vec::new(),
             built: false,
             next_refresh: SimTime::ZERO,
+            refreshes: 0,
+            rebuckets: 0,
+        }
+    }
+
+    /// Cumulative maintenance counters.
+    pub fn stats(&self) -> GridStats {
+        GridStats {
+            refreshes: self.refreshes,
+            rebuckets: self.rebuckets,
         }
     }
 
@@ -135,6 +159,7 @@ impl SpatialGrid {
         if self.movers.is_empty() || t < self.next_refresh {
             return;
         }
+        self.refreshes += 1;
         for &i in &self.movers {
             let p = motions[i as usize].position_at(t);
             let cell = self.cell_of(p);
@@ -153,6 +178,7 @@ impl SpatialGrid {
             bucket.swap_remove(pos);
             self.buckets.entry(cell).or_default().push(i);
             self.cells[i as usize] = cell;
+            self.rebuckets += 1;
         }
         self.next_refresh = t + self.quantum;
     }

@@ -37,7 +37,7 @@ pub mod event;
 pub mod grid;
 pub mod tone;
 
-pub use channel::{Channel, ChannelConfig, FaultHook, TxId};
+pub use channel::{Channel, ChannelConfig, FaultHook, FrameTallies, PhyObs, TxId, FRAME_KINDS};
 pub use event::{Indication, PhyEvent};
-pub use grid::{IndexMode, SpatialGrid};
+pub use grid::{GridStats, IndexMode, SpatialGrid};
 pub use tone::{Tone, ToneLog};

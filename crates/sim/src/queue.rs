@@ -54,6 +54,7 @@ pub struct EventQueue<E> {
     now: SimTime,
     pushed: u64,
     popped: u64,
+    high_water: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -71,6 +72,7 @@ impl<E> EventQueue<E> {
             now: SimTime::ZERO,
             pushed: 0,
             popped: 0,
+            high_water: 0,
         }
     }
 
@@ -123,6 +125,9 @@ impl<E> EventQueue<E> {
             seq,
             event,
         });
+        if self.heap.len() > self.high_water {
+            self.high_water = self.heap.len();
+        }
     }
 
     /// Schedule `event` after a relative delay from the current clock.
@@ -168,6 +173,13 @@ impl<E> EventQueue<E> {
     #[inline]
     pub fn total_popped(&self) -> u64 {
         self.popped
+    }
+
+    /// The deepest the queue has ever been (pending events), a capacity
+    /// diagnostic for the pre-sizing heuristics.
+    #[inline]
+    pub fn depth_high_water(&self) -> usize {
+        self.high_water
     }
 }
 
@@ -242,6 +254,21 @@ mod tests {
         assert_eq!(q.total_popped(), 1);
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn high_water_tracks_peak_depth() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.depth_high_water(), 0);
+        q.push(SimTime::MICRO, 1);
+        q.push(SimTime::MICRO, 2);
+        q.push(SimTime::MICRO, 3);
+        q.pop();
+        q.pop();
+        // Draining never lowers the mark.
+        assert_eq!(q.depth_high_water(), 3);
+        q.push_after(SimTime::MICRO, 4);
+        assert_eq!(q.depth_high_water(), 3);
     }
 
     #[test]

@@ -25,15 +25,20 @@ pub use rmac_faults as faults;
 pub use rmac_metrics as metrics;
 pub use rmac_mobility as mobility;
 pub use rmac_net as net;
+pub use rmac_obs as obs;
 pub use rmac_phy as phy;
 pub use rmac_sim as sim;
 pub use rmac_wire as wire;
 
 /// Commonly used items for driving simulations.
 pub mod prelude {
-    pub use rmac_engine::{run_replication, run_replication_with_faults, Protocol, ScenarioConfig};
+    pub use rmac_engine::{
+        run_replication, run_replication_with_faults, ObsConfig, Protocol, Runner, ScenarioConfig,
+        TraceLevel,
+    };
     pub use rmac_faults::FaultPlan;
     pub use rmac_metrics::report::RunReport;
+    pub use rmac_obs::ObsReport;
     pub use rmac_sim::{SimRng, SimTime};
     pub use rmac_wire::addr::NodeId;
 }

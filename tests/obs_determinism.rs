@@ -1,0 +1,111 @@
+//! The observability layer's determinism laws (property-based).
+//!
+//! 1. **Bit-identity**: a fully instrumented run — snapshot sampler,
+//!    wall-clock kernel profiling, and a JSONL trace streaming through the
+//!    level filter — produces a `RunReport` bit-identical to the plain
+//!    `run_replication` of the same seed. Instrumentation observes the
+//!    simulation; it must never steer it.
+//! 2. **Schema**: every trace line the sink writes parses back through the
+//!    documented JSONL schema, none are silently dropped, and the parsed
+//!    line count matches the sink's own tally.
+//! 3. **Reproducibility**: with wall clocks off, the rendered `ObsReport`
+//!    JSON itself is a pure function of the seed.
+
+use proptest::prelude::*;
+use rmac::engine::{filter_tracer, JsonlSink};
+use rmac::obs::parse_trace_line;
+use rmac::prelude::*;
+
+/// Small but connected: the paper's node density on a shrunken plane, so
+/// reliable multicast traffic (not just beacons) flows in every case.
+fn cfg() -> ScenarioConfig {
+    let nodes = 15;
+    let mut cfg = ScenarioConfig::paper_stationary(10.0)
+        .with_nodes(nodes)
+        .with_packets(8);
+    let scale = (nodes as f64 / 75.0).sqrt();
+    cfg.bounds = rmac::mobility::Bounds::new(500.0 * scale, 300.0 * scale);
+    cfg
+}
+
+/// One fully instrumented run: returns the report plus the sink's summary
+/// and the written trace text.
+fn instrumented(seed: u64) -> (RunReport, ObsReport, u64, String) {
+    let path = std::env::temp_dir().join(format!("rmac_obs_determinism_{seed}.jsonl"));
+    let sink = JsonlSink::create(&path).expect("create trace sink");
+    let mut runner = Runner::new(&cfg(), Protocol::Rmac, seed);
+    runner.set_tracer(filter_tracer(TraceLevel::Signal, sink.tracer()));
+    runner.set_obs(ObsConfig::full(SimTime::from_millis(250)));
+    let (report, obs) = runner.run_obs(seed);
+    let summary = sink.finish().expect("flush trace sink");
+    assert_eq!(summary.dropped, 0, "trace lines dropped on write");
+    let text = std::fs::read_to_string(&path).expect("read trace back");
+    let _ = std::fs::remove_file(&path);
+    (report, obs.expect("obs attached"), summary.written, text)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn full_instrumentation_is_bit_identical(seed in 0u64..256) {
+        let base = run_replication(&cfg(), Protocol::Rmac, seed);
+        let (report, obs, written, text) = instrumented(seed);
+        prop_assert_eq!(&base, &report);
+
+        // The run actually produced protocol traffic worth observing.
+        prop_assert!(report.packets_sent > 0, "scenario generated no packets");
+        prop_assert!(written > 0, "tracer saw no events");
+        prop_assert!(!obs.snapshots.is_empty(), "sampler took no snapshots");
+
+        // Every written line obeys the documented schema.
+        let mut parsed = 0u64;
+        for (i, line) in text.lines().enumerate() {
+            prop_assert!(
+                parse_trace_line(line).is_some(),
+                "trace line {} does not parse: {}", i + 1, line
+            );
+            parsed += 1;
+        }
+        prop_assert_eq!(parsed, written);
+    }
+
+    #[test]
+    fn counting_obs_report_is_reproducible(seed in 0u64..256) {
+        // Wall clocks off (ObsConfig::default()): the whole ObsReport,
+        // rendered to JSON, must be a pure function of the seed.
+        let run = |seed| {
+            let mut runner = Runner::new(&cfg(), Protocol::Rmac, seed);
+            runner.set_obs(ObsConfig::default());
+            runner.run_obs(seed)
+        };
+        let (ra, oa) = run(seed);
+        let (rb, ob) = run(seed);
+        prop_assert_eq!(&ra, &rb);
+        prop_assert_eq!(oa.expect("obs a").to_json(), ob.expect("obs b").to_json());
+        // And counting-only obs is as bit-identical as the full stack.
+        prop_assert_eq!(&ra, &run_replication(&cfg(), Protocol::Rmac, seed));
+    }
+}
+
+/// The trace level filter composes with the sink: a Protocol-level trace is
+/// a strict subset of the Signal-level trace for the same seed.
+#[test]
+fn protocol_level_is_subset_of_signal_level() {
+    let trace_at = |level| {
+        let path = std::env::temp_dir().join(format!("rmac_obs_level_{level:?}.jsonl"));
+        let sink = JsonlSink::create(&path).expect("create sink");
+        let mut runner = Runner::new(&cfg(), Protocol::Rmac, 11);
+        runner.set_tracer(filter_tracer(level, sink.tracer()));
+        runner.run(11);
+        let n = sink.finish().expect("flush").written;
+        let _ = std::fs::remove_file(&path);
+        n
+    };
+    let protocol = trace_at(TraceLevel::Protocol);
+    let frames = trace_at(TraceLevel::Frames);
+    let signal = trace_at(TraceLevel::Signal);
+    assert!(protocol > 0);
+    assert!(protocol < frames, "Frames must add tx/rx events");
+    assert!(frames < signal, "Signal must add tone/carrier events");
+}
