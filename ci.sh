@@ -19,4 +19,7 @@ cargo bench -q --workspace -- --test
 echo "==> obs_report --smoke (instrumented run: bit-identity + trace schema + renders)"
 cargo run -q --release -p rmac-experiments --bin obs_report -- --smoke
 
+echo "==> check-fuzz (conformance fuzz smoke: 1000 seeded scenarios under C1-C5)"
+cargo run -q --release -p rmac-experiments --bin fuzz_scenarios -- --smoke
+
 echo "CI green."

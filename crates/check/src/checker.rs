@@ -1,0 +1,910 @@
+//! The streaming conformance checker.
+//!
+//! The engine feeds the checker the same dispatch-ordered stream its
+//! tracer sees — PHY indications plus two extra hook points the trace
+//! schema does not carry (transmission *starts* and protocol tone
+//! emissions) — and the checker asserts the paper's invariants online.
+//! Everything is formulated against *sensed* state (what the node's radio
+//! could know, i.e. the tone/carrier indications already delivered to it),
+//! never against global geometry: physical-layer capture can fool a fully
+//! conformant sender into transmitting data against a foreign RBT, so a
+//! geometric "no overlap" rule would flag correct runs (DESIGN.md §8).
+//!
+//! The checker is purely observational: it draws no randomness, schedules
+//! no events and touches no channel state, so an attached checker leaves
+//! every `RunReport` bit-identical (enforced by `tests/conformance.rs`).
+
+use std::collections::VecDeque;
+
+use rmac_phy::{Indication, Tone};
+use rmac_sim::SimTime;
+use rmac_wire::consts::{LAMBDA, L_ABT, T_WF};
+use rmac_wire::{Frame, FrameKind, NodeId};
+
+use crate::edges::{is_legal, EXPECTED_LABELS, STATES};
+use crate::report::{CheckReport, Invariant, Violation};
+
+/// Which invariant family the run's MAC belongs to. Physics checks
+/// (C3/C5) are universal; the tone and frame-alphabet rules are
+/// per-protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProtocolClass {
+    /// RMAC and its ablations/mutants: MRTS/RBT/ABT semantics apply.
+    Rmac,
+    /// The BMMM baseline: RTS/CTS/RAK/ACK governance applies.
+    Bmmm,
+    /// Other baselines (BMW, LBP, 802.11MX): only C3/C5.
+    Other,
+}
+
+/// Checker parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct CheckConfig {
+    /// Protocol population (channel slots at or past this index are
+    /// jammers — environment, not protocol entities).
+    pub nodes: usize,
+    /// The run's invariant family.
+    pub class: ProtocolClass,
+    /// Recording cap: violations past this are counted via
+    /// `CheckReport::truncated` but not stored.
+    pub max_violations: usize,
+}
+
+impl CheckConfig {
+    /// Defaults: cap at 64 recorded violations.
+    pub fn new(nodes: usize, class: ProtocolClass) -> CheckConfig {
+        CheckConfig {
+            nodes,
+            class,
+            max_violations: 64,
+        }
+    }
+}
+
+/// Tolerance on response timing (ABT slot alignment, RBT raise): covers
+/// propagation (τ ≤ 1 µs) plus clock-skew stretch on short timers.
+const TOL_NS: u64 = 2_000;
+/// C1's look-back window: the WF_RBT watch is T_WF long; the slack covers
+/// skew-stretched timers.
+const C1_WINDOW_NS: u64 = T_WF.nanos() + 2_000;
+/// Sensed-RBT run retention (only the C1 window is ever queried).
+const RUN_RETAIN_NS: u64 = 200_000;
+/// How long a received MRTS can govern a data frame / ABT reply.
+const MRTS_TTL_NS: u64 = 100_000_000;
+/// BMMM response governance window (loose on purpose: the invariant is
+/// *who* may respond, not exact SIFS timing).
+const RESP_WINDOW_NS: u64 = 50_000_000;
+
+/// An MRTS received cleanly at a node that named it.
+#[derive(Clone, Copy, Debug)]
+struct MrtsGrant {
+    sender: NodeId,
+    slot: usize,
+    rx_end_ns: u64,
+}
+
+#[derive(Clone, Debug, Default)]
+struct NodeState {
+    /// Sensed tone presence ([Rbt, Abt]), reconstructed from the
+    /// `ToneChanged` indications delivered to this node — exactly what
+    /// its MAC can observe through `tone_present`.
+    sensed_since: [Option<u64>; 2],
+    /// Recently closed sensed-RBT intervals, for the C1 λ-window check.
+    rbt_runs: VecDeque<(u64, u64)>,
+    /// Own tone emissions in progress ([Rbt, Abt]), by start time.
+    emitting: [Option<u64>; 2],
+    /// Transmission in flight: (start, kind, expected airtime ns).
+    cur_tx: Option<(u64, FrameKind, u64)>,
+    /// Most recent completed transmission interval.
+    last_tx: Option<(u64, u64)>,
+    /// MRTSes that named this node (latest per sender).
+    mrts: Vec<MrtsGrant>,
+    /// Outstanding ABT permissions: tone-raise due times granted by a
+    /// cleanly received data frame from an MRTS that named this node.
+    abt_due: Vec<u64>,
+    /// BMMM: end time of the last clean RTS / RAK addressed to this node.
+    resp_permit: [Option<u64>; 2],
+    /// BMMM: end time of this node's last completed reliable-data tx.
+    last_data_tx_end: Option<u64>,
+}
+
+impl NodeState {
+    /// Longest continuous sensed-RBT interval overlapping `[w0, t]`.
+    fn max_rbt_on(&self, w0: u64, t: u64) -> u64 {
+        let mut best = 0;
+        for &(a, b) in &self.rbt_runs {
+            let lo = a.max(w0);
+            let hi = b.min(t);
+            if hi > lo {
+                best = best.max(hi - lo);
+            }
+        }
+        if let Some(a) = self.sensed_since[0] {
+            let lo = a.max(w0);
+            if t > lo {
+                best = best.max(t - lo);
+            }
+        }
+        best
+    }
+}
+
+fn tone_idx(tone: Tone) -> usize {
+    match tone {
+        Tone::Rbt => 0,
+        Tone::Abt => 1,
+    }
+}
+
+/// The streaming checker. See the module docs for the event contract.
+pub struct Checker {
+    cfg: CheckConfig,
+    nodes: Vec<NodeState>,
+    report: CheckReport,
+}
+
+impl Checker {
+    /// A fresh checker for one replication.
+    pub fn new(cfg: CheckConfig) -> Checker {
+        Checker {
+            nodes: vec![NodeState::default(); cfg.nodes],
+            cfg,
+            report: CheckReport::default(),
+        }
+    }
+
+    fn violate(&mut self, inv: Invariant, t: SimTime, node: NodeId, detail: String) {
+        if self.report.violations.len() >= self.cfg.max_violations {
+            self.report.truncated = true;
+            return;
+        }
+        self.report.violations.push(Violation {
+            invariant: inv,
+            t,
+            node,
+            detail,
+        });
+    }
+
+    /// Is this a protocol node (not a jammer slot)?
+    fn is_protocol(&self, node: NodeId) -> bool {
+        node.idx() < self.cfg.nodes
+    }
+
+    /// A protocol node starts a transmission (engine hook at the MAC
+    /// context's `start_tx`, before the channel accepts the frame).
+    pub fn on_tx_start(&mut self, t: SimTime, node: NodeId, frame: &Frame) {
+        debug_assert!(self.is_protocol(node), "jammer frames are environment");
+        self.report.tx_checked += 1;
+        let now = t.nanos();
+        let kind = frame.kind;
+
+        // C2 — frame alphabet: each protocol only ever emits its own
+        // frame kinds (RMAC replaced the 802.11 control plane with tones).
+        let in_alphabet = match self.cfg.class {
+            ProtocolClass::Rmac => matches!(
+                kind,
+                FrameKind::Mrts | FrameKind::DataReliable | FrameKind::DataUnreliable
+            ),
+            ProtocolClass::Bmmm => {
+                !matches!(kind, FrameKind::Mrts | FrameKind::Ncts | FrameKind::Nak)
+            }
+            ProtocolClass::Other => true,
+        };
+        if !in_alphabet {
+            self.violate(
+                Invariant::C2GovernedResponse,
+                t,
+                node,
+                format!("{kind:?} is outside the protocol's frame alphabet"),
+            );
+        }
+
+        match self.cfg.class {
+            ProtocolClass::Rmac => self.check_rmac_tx(t, node, frame),
+            ProtocolClass::Bmmm => self.check_bmmm_tx(t, node, frame),
+            ProtocolClass::Other => {}
+        }
+
+        // C3 bookkeeping — and a missed TxDone is itself an accounting
+        // breach (the channel owes every started tx a completion).
+        let ns = &mut self.nodes[node.idx()];
+        if let Some((s, k, _)) = ns.cur_tx.replace((now, kind, frame.airtime().nanos())) {
+            self.violate(
+                Invariant::C3Airtime,
+                t,
+                node,
+                format!("tx of {kind:?} starts but the {k:?} started at {s} ns never completed"),
+            );
+        }
+    }
+
+    /// C1 plus the RMAC side of C2 at a transmission start.
+    fn check_rmac_tx(&mut self, t: SimTime, node: NodeId, frame: &Frame) {
+        let now = t.nanos();
+        let ns = &self.nodes[node.idx()];
+        match frame.kind {
+            // C1a — carrier/tone discipline: MRTS and unreliable data only
+            // start on a clear RBT channel (Table 1's "channels idle").
+            FrameKind::Mrts | FrameKind::DataUnreliable => {
+                if let Some(since) = ns.sensed_since[0] {
+                    let emitters = self.rbt_emitters(node, frame);
+                    self.violate(
+                        Invariant::C1RbtProtection,
+                        t,
+                        node,
+                        format!(
+                            "{:?} tx starts against an RBT sensed since {} ns ({emitters})",
+                            frame.kind, since
+                        ),
+                    );
+                }
+            }
+            // C1b — data justification: reliable data is transmitted only
+            // after a ≥ λ continuous RBT detection inside the WF_RBT
+            // window that just closed (§3.3.2 step 4 / Table 1 C18).
+            FrameKind::DataReliable => {
+                let w0 = now.saturating_sub(C1_WINDOW_NS);
+                let dwell = ns.max_rbt_on(w0, now);
+                if dwell < LAMBDA.nanos() {
+                    self.violate(
+                        Invariant::C1RbtProtection,
+                        t,
+                        node,
+                        format!(
+                            "reliable DATA tx without RBT detection: max dwell {} ns < λ = {} ns \
+                             in the preceding {} ns",
+                            dwell,
+                            LAMBDA.nanos(),
+                            C1_WINDOW_NS
+                        ),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Attribution string for a C1a breach: which protocol nodes are
+    /// currently asserting an RBT, and whether the frame addresses them.
+    /// (A sensed tone is in range by definition of tone audibility; jam
+    /// tones have no protocol emitter and show up as "environment".)
+    fn rbt_emitters(&self, _at: NodeId, frame: &Frame) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        for (i, ns) in self.nodes.iter().enumerate() {
+            if ns.emitting[0].is_some() {
+                let id = NodeId(i as u16);
+                parts.push(if frame.addressed_to(id) {
+                    format!("n{i} (addressed)")
+                } else {
+                    format!("n{i} (non-addressed)")
+                });
+            }
+        }
+        if parts.is_empty() {
+            "emitters: environment only".to_string()
+        } else {
+            format!("emitters: {}", parts.join(", "))
+        }
+    }
+
+    /// The BMMM side of C2: responses only from nodes the governing
+    /// request named, and RAKs only from the round's data sender.
+    fn check_bmmm_tx(&mut self, t: SimTime, node: NodeId, frame: &Frame) {
+        let now = t.nanos();
+        let ns = &self.nodes[node.idx()];
+        let recent = |end: Option<u64>| end.is_some_and(|e| now >= e && now - e <= RESP_WINDOW_NS);
+        match frame.kind {
+            FrameKind::Cts if !recent(ns.resp_permit[0]) => {
+                self.violate(
+                    Invariant::C2GovernedResponse,
+                    t,
+                    node,
+                    "CTS without a recent RTS naming this node".to_string(),
+                );
+            }
+            FrameKind::Ack if !recent(ns.resp_permit[1]) => {
+                self.violate(
+                    Invariant::C2GovernedResponse,
+                    t,
+                    node,
+                    "ACK without a recent RAK naming this node".to_string(),
+                );
+            }
+            FrameKind::Rak if !recent(ns.last_data_tx_end) => {
+                self.violate(
+                    Invariant::C2GovernedResponse,
+                    t,
+                    node,
+                    "RAK from a node that did not just send reliable data".to_string(),
+                );
+            }
+            _ => {}
+        }
+    }
+
+    /// A protocol node starts or stops emitting a busy tone (engine hook
+    /// at the MAC context's `start_tone`/`stop_tone`; jammer tones do NOT
+    /// come through here — they are environment, visible only through
+    /// their `ToneChanged` effect on other nodes).
+    pub fn on_tone(&mut self, t: SimTime, node: NodeId, tone: Tone, on: bool) {
+        debug_assert!(self.is_protocol(node), "jammer tones are environment");
+        let now = t.nanos();
+        let ti = tone_idx(tone);
+        if on {
+            self.report.tone_emissions += 1;
+            if self.cfg.class == ProtocolClass::Rmac {
+                match tone {
+                    // C2 — an RBT answers an MRTS that named this node,
+                    // raised immediately on reception (§3.3.2 step 2).
+                    Tone::Rbt => {
+                        let named = self.nodes[node.idx()]
+                            .mrts
+                            .iter()
+                            .any(|g| now >= g.rx_end_ns && now - g.rx_end_ns <= TOL_NS);
+                        if !named {
+                            self.violate(
+                                Invariant::C2GovernedResponse,
+                                t,
+                                node,
+                                "RBT raised with no just-received MRTS naming this node"
+                                    .to_string(),
+                            );
+                        }
+                    }
+                    // C2 — an ABT may only occupy the slot granted by the
+                    // governing MRTS, counted from the data frame's end
+                    // (§3.3.2 step 5).
+                    Tone::Abt => {
+                        let due = self.nodes[node.idx()]
+                            .abt_due
+                            .iter()
+                            .position(|&d| now.abs_diff(d) <= TOL_NS);
+                        match due {
+                            Some(i) => {
+                                self.nodes[node.idx()].abt_due.swap_remove(i);
+                            }
+                            None => self.violate(
+                                Invariant::C2GovernedResponse,
+                                t,
+                                node,
+                                "ABT raised outside any slot granted by a received MRTS+DATA"
+                                    .to_string(),
+                            ),
+                        }
+                    }
+                }
+            }
+            self.nodes[node.idx()].emitting[ti] = Some(now);
+        } else {
+            let started = self.nodes[node.idx()].emitting[ti].take();
+            // C2 — the ABT burst is exactly one L_ABT slot long.
+            if self.cfg.class == ProtocolClass::Rmac && tone == Tone::Abt {
+                if let Some(s) = started {
+                    let held = now - s;
+                    if held.abs_diff(L_ABT.nanos()) > TOL_NS {
+                        self.violate(
+                            Invariant::C2GovernedResponse,
+                            t,
+                            node,
+                            format!("ABT held {} ns, expected {} ns", held, L_ABT.nanos()),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// A PHY indication delivered to a live protocol node, fed *before*
+    /// the node's MAC reacts to it so the checker's sensed-state model
+    /// stays in lockstep with what the MAC can observe.
+    pub fn on_indication(&mut self, t: SimTime, ind: &Indication) {
+        let now = t.nanos();
+        match ind {
+            Indication::ToneChanged {
+                node,
+                tone,
+                present,
+            } => {
+                let ns = &mut self.nodes[node.idx()];
+                let ti = tone_idx(*tone);
+                if *present {
+                    if ns.sensed_since[ti].is_none() {
+                        ns.sensed_since[ti] = Some(now);
+                    }
+                } else if let Some(a) = ns.sensed_since[ti].take() {
+                    if ti == 0 {
+                        ns.rbt_runs.push_back((a, now));
+                        while ns
+                            .rbt_runs
+                            .front()
+                            .is_some_and(|&(_, b)| b + RUN_RETAIN_NS < now)
+                        {
+                            ns.rbt_runs.pop_front();
+                        }
+                    }
+                }
+            }
+            Indication::FrameRx { node, frame, ok } => {
+                if !*ok {
+                    return;
+                }
+                self.report.rx_ok_checked += 1;
+                self.check_half_duplex(t, *node, frame);
+                match self.cfg.class {
+                    ProtocolClass::Rmac => self.track_rmac_rx(now, *node, frame),
+                    ProtocolClass::Bmmm => self.track_bmmm_rx(now, *node, frame),
+                    ProtocolClass::Other => {}
+                }
+            }
+            Indication::TxDone {
+                node,
+                frame,
+                aborted,
+            } => {
+                let started = self.nodes[node.idx()].cur_tx.take();
+                match started {
+                    Some((s, _, airtime)) => {
+                        let held = now - s;
+                        // C3 — on-air duration matches the wire math
+                        // exactly; an abort must cut the frame short.
+                        if !*aborted && held != airtime {
+                            self.violate(
+                                Invariant::C3Airtime,
+                                t,
+                                *node,
+                                format!(
+                                    "{:?} occupied the channel {} ns, air-time math says {} ns",
+                                    frame.kind, held, airtime
+                                ),
+                            );
+                        } else if *aborted && held >= airtime {
+                            self.violate(
+                                Invariant::C3Airtime,
+                                t,
+                                *node,
+                                format!(
+                                    "aborted {:?} still occupied {} ns ≥ full air time {} ns",
+                                    frame.kind, held, airtime
+                                ),
+                            );
+                        }
+                        self.nodes[node.idx()].last_tx = Some((s, now));
+                        if self.cfg.class == ProtocolClass::Bmmm
+                            && frame.kind == FrameKind::DataReliable
+                            && !*aborted
+                        {
+                            self.nodes[node.idx()].last_data_tx_end = Some(now);
+                        }
+                    }
+                    None => self.violate(
+                        Invariant::C3Airtime,
+                        t,
+                        *node,
+                        format!("{:?} completion with no tracked start", frame.kind),
+                    ),
+                }
+            }
+            Indication::CarrierOn { .. } | Indication::CarrierOff { .. } => {}
+        }
+    }
+
+    /// C5 — a clean reception's arrival interval must not overlap any own
+    /// transmission (the radio is half-duplex on the data channel).
+    fn check_half_duplex(&mut self, t: SimTime, node: NodeId, frame: &Frame) {
+        let now = t.nanos();
+        let arrive_start = now.saturating_sub(frame.airtime().nanos());
+        let ns = &self.nodes[node.idx()];
+        if let Some((s, k, _)) = ns.cur_tx {
+            if s < now {
+                self.violate(
+                    Invariant::C5HalfDuplex,
+                    t,
+                    node,
+                    format!(
+                        "clean rx of {:?} from n{} while transmitting {k:?} (since {s} ns)",
+                        frame.kind, frame.src.0
+                    ),
+                );
+                return;
+            }
+        }
+        if let Some((s, e)) = ns.last_tx {
+            if e > arrive_start && s < now {
+                self.violate(
+                    Invariant::C5HalfDuplex,
+                    t,
+                    node,
+                    format!(
+                        "clean rx of {:?} from n{} overlaps own tx [{s}, {e}] ns \
+                         (arrival began {arrive_start} ns)",
+                        frame.kind, frame.src.0
+                    ),
+                );
+            }
+        }
+    }
+
+    /// Track the MRTS→DATA→ABT grant chain at a receiver.
+    fn track_rmac_rx(&mut self, now: u64, node: NodeId, frame: &Frame) {
+        let ns = &mut self.nodes[node.idx()];
+        match frame.kind {
+            FrameKind::Mrts => {
+                if let Some(slot) = frame.mrts_slot_of(node) {
+                    ns.mrts
+                        .retain(|g| g.sender != frame.src && now - g.rx_end_ns <= MRTS_TTL_NS);
+                    ns.mrts.push(MrtsGrant {
+                        sender: frame.src,
+                        slot,
+                        rx_end_ns: now,
+                    });
+                }
+            }
+            FrameKind::DataReliable if frame.addressed_to(node) => {
+                if let Some(g) = ns.mrts.iter().find(|g| g.sender == frame.src) {
+                    ns.abt_due.push(now + L_ABT.nanos() * g.slot as u64);
+                }
+                ns.abt_due.retain(|&d| d + RUN_RETAIN_NS > now);
+            }
+            _ => {}
+        }
+    }
+
+    /// Track who BMMM's RTS/RAK requests authorize to respond.
+    fn track_bmmm_rx(&mut self, now: u64, node: NodeId, frame: &Frame) {
+        if !frame.addressed_to(node) {
+            return;
+        }
+        let ns = &mut self.nodes[node.idx()];
+        match frame.kind {
+            FrameKind::Rts => ns.resp_permit[0] = Some(now),
+            FrameKind::Rak => ns.resp_permit[1] = Some(now),
+            _ => {}
+        }
+    }
+
+    /// A node crashed: its radio is silenced by the engine (tones
+    /// dropped, tx aborted) and its indications stop, so the per-node
+    /// protocol state is wiped. Sensed tones are resynced at restart.
+    pub fn on_node_down(&mut self, node: NodeId) {
+        let ns = &mut self.nodes[node.idx()];
+        ns.cur_tx = None;
+        ns.emitting = [None; 2];
+        ns.mrts.clear();
+        ns.abt_due.clear();
+        ns.resp_permit = [None; 2];
+        ns.last_data_tx_end = None;
+    }
+
+    /// A node restarted: resynchronize its sensed-tone model with the
+    /// channel truth (edges during the outage were never delivered, to
+    /// the MAC or to us).
+    pub fn on_node_up(&mut self, t: SimTime, node: NodeId, rbt: bool, abt: bool) {
+        let now = t.nanos();
+        let ns = &mut self.nodes[node.idx()];
+        for (ti, present) in [(0usize, rbt), (1usize, abt)] {
+            match (ns.sensed_since[ti], present) {
+                (None, true) => ns.sensed_since[ti] = Some(now),
+                (Some(a), false) => {
+                    ns.sensed_since[ti] = None;
+                    if ti == 0 {
+                        ns.rbt_runs.push_back((a, now));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// C4 — validate one node's end-of-run transition matrix (row-major
+    /// `from × STATES + to`, as produced by the MAC's transition counter).
+    pub fn check_transitions(&mut self, node: NodeId, labels: &[&str], matrix: &[u64]) {
+        if labels != EXPECTED_LABELS || matrix.len() != STATES * STATES {
+            return;
+        }
+        self.report.transition_nodes += 1;
+        for from in 0..STATES {
+            for to in 0..STATES {
+                let count = matrix[from * STATES + to];
+                if count > 0 && !is_legal(from, to) {
+                    self.violate(
+                        Invariant::C4LegalTransition,
+                        SimTime::ZERO,
+                        node,
+                        format!(
+                            "{} illegal transition(s) {} → {}",
+                            count, labels[from], labels[to]
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Close out the run and produce the report. Emissions and
+    /// transmissions still open at `_t` are cut short by the end of the
+    /// simulation, not by the protocol — they are not judged.
+    pub fn finish(self, _t: SimTime) -> CheckReport {
+        self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use rmac_wire::Dest;
+
+    fn us(n: u64) -> SimTime {
+        SimTime::from_micros(n)
+    }
+
+    fn checker(class: ProtocolClass) -> Checker {
+        Checker::new(CheckConfig::new(4, class))
+    }
+
+    fn mrts() -> Frame {
+        Frame::mrts(NodeId(0), vec![NodeId(1), NodeId(2)])
+    }
+
+    fn data() -> Frame {
+        Frame::data_reliable(
+            NodeId(0),
+            Dest::Group(vec![NodeId(1), NodeId(2)]),
+            Bytes::from_static(&[0u8; 50]),
+            1,
+        )
+    }
+
+    fn rx(node: u16, frame: &Frame) -> Indication {
+        Indication::FrameRx {
+            node: NodeId(node),
+            frame: frame.clone(),
+            ok: true,
+        }
+    }
+
+    fn tone_at(node: u16, tone: Tone, present: bool) -> Indication {
+        Indication::ToneChanged {
+            node: NodeId(node),
+            tone,
+            present,
+        }
+    }
+
+    #[test]
+    fn clean_exchange_passes_every_checker() {
+        let mut c = checker(ProtocolClass::Rmac);
+        let m = mrts();
+        // MRTS goes out on a silent RBT channel…
+        c.on_tx_start(us(100), NodeId(0), &m);
+        c.on_indication(
+            us(292),
+            &Indication::TxDone {
+                node: NodeId(0),
+                frame: m.clone(),
+                aborted: false,
+            },
+        );
+        // …receivers hear it and answer with the RBT…
+        c.on_indication(us(292), &rx(1, &m));
+        c.on_tone(us(292), NodeId(1), Tone::Rbt, true);
+        c.on_indication(us(293), &tone_at(0, Tone::Rbt, true));
+        // …the sender detects ≥ λ of tone across its T_WF window and
+        // transmits the data frame.
+        let d = data();
+        c.on_tx_start(us(310), NodeId(0), &d);
+        let report = c.finish(us(1000));
+        assert!(report.is_clean(), "{}", report.summary());
+        assert_eq!(report.tx_checked, 2);
+    }
+
+    #[test]
+    fn c1_flags_data_without_rbt_detection() {
+        let mut c = checker(ProtocolClass::Rmac);
+        // No tone ever sensed: a conformant sender would have failed the
+        // attempt (Table 1 C12); transmitting anyway is the mutation.
+        c.on_tx_start(us(300), NodeId(0), &data());
+        let report = c.finish(us(1000));
+        assert_eq!(report.count(Invariant::C1RbtProtection), 1);
+    }
+
+    #[test]
+    fn c1_flags_mrts_against_sensed_rbt() {
+        let mut c = checker(ProtocolClass::Rmac);
+        c.on_indication(us(100), &tone_at(0, Tone::Rbt, true));
+        c.on_tx_start(us(120), NodeId(0), &mrts());
+        let report = c.finish(us(1000));
+        assert_eq!(report.count(Invariant::C1RbtProtection), 1);
+        assert!(report.violations[0].detail.contains("Mrts"));
+    }
+
+    #[test]
+    fn c1_accepts_mrts_after_tone_clears() {
+        let mut c = checker(ProtocolClass::Rmac);
+        c.on_indication(us(100), &tone_at(0, Tone::Rbt, true));
+        c.on_indication(us(130), &tone_at(0, Tone::Rbt, false));
+        c.on_tx_start(us(140), NodeId(0), &mrts());
+        assert!(c.finish(us(1000)).is_clean());
+    }
+
+    #[test]
+    fn c2_flags_ungoverned_rbt_and_abt() {
+        let mut c = checker(ProtocolClass::Rmac);
+        c.on_tone(us(100), NodeId(1), Tone::Rbt, true);
+        c.on_tone(us(200), NodeId(2), Tone::Abt, true);
+        let report = c.finish(us(1000));
+        assert_eq!(report.count(Invariant::C2GovernedResponse), 2);
+    }
+
+    #[test]
+    fn c2_accepts_the_granted_abt_slot() {
+        let mut c = checker(ProtocolClass::Rmac);
+        let m = mrts();
+        c.on_indication(us(100), &rx(2, &m)); // n2 is slot 1
+        c.on_tone(us(100), NodeId(2), Tone::Rbt, true);
+        c.on_indication(us(500), &rx(2, &data()));
+        c.on_tone(us(400), NodeId(2), Tone::Rbt, false);
+        // Slot 1 opens L_ABT after the data frame's end.
+        let due = us(500 + 17);
+        c.on_tone(due, NodeId(2), Tone::Abt, true);
+        c.on_tone(due + L_ABT, NodeId(2), Tone::Abt, false);
+        let report = c.finish(us(1000));
+        assert!(report.is_clean(), "{}", report.summary());
+    }
+
+    #[test]
+    fn c2_flags_abt_in_the_wrong_slot() {
+        let mut c = checker(ProtocolClass::Rmac);
+        let m = mrts();
+        c.on_indication(us(100), &rx(2, &m)); // granted slot 1 (17 µs)
+        c.on_tone(us(100), NodeId(2), Tone::Rbt, true);
+        c.on_indication(us(500), &rx(2, &data()));
+        c.on_tone(us(500), NodeId(2), Tone::Abt, true); // slot 0 is n1's
+        let report = c.finish(us(1000));
+        assert_eq!(report.count(Invariant::C2GovernedResponse), 1);
+    }
+
+    #[test]
+    fn c2_flags_foreign_frame_kinds() {
+        let mut c = checker(ProtocolClass::Rmac);
+        let ack = Frame::control(FrameKind::Ack, NodeId(1), NodeId(0), SimTime::ZERO);
+        c.on_tx_start(us(100), NodeId(1), &ack);
+        let report = c.finish(us(1000));
+        // Outside RMAC's alphabet (C2); half-duplex/airtime untouched.
+        assert_eq!(report.count(Invariant::C2GovernedResponse), 1);
+    }
+
+    #[test]
+    fn c3_flags_wrong_airtime() {
+        let mut c = checker(ProtocolClass::Rmac);
+        let m = mrts();
+        c.on_tx_start(us(100), NodeId(0), &m);
+        // MRTS with 2 receivers = 24 bytes → 96 + 4·24 = 192 µs, but the
+        // completion arrives 10 µs late.
+        c.on_indication(
+            us(302),
+            &Indication::TxDone {
+                node: NodeId(0),
+                frame: m,
+                aborted: false,
+            },
+        );
+        let report = c.finish(us(1000));
+        assert_eq!(report.count(Invariant::C3Airtime), 1);
+    }
+
+    #[test]
+    fn c3_accepts_exact_airtime_and_short_aborts() {
+        let mut c = checker(ProtocolClass::Rmac);
+        let m = mrts();
+        let air = m.airtime();
+        c.on_tx_start(us(100), NodeId(0), &m);
+        c.on_indication(
+            us(100) + air,
+            &Indication::TxDone {
+                node: NodeId(0),
+                frame: m.clone(),
+                aborted: false,
+            },
+        );
+        c.on_tx_start(us(1000), NodeId(0), &m);
+        c.on_indication(
+            us(1040),
+            &Indication::TxDone {
+                node: NodeId(0),
+                frame: m,
+                aborted: true,
+            },
+        );
+        assert!(c.finish(us(2000)).is_clean());
+    }
+
+    #[test]
+    fn c5_flags_reception_overlapping_own_tx() {
+        let mut c = checker(ProtocolClass::Rmac);
+        let m = mrts();
+        c.on_tx_start(us(100), NodeId(0), &m);
+        // A clean reception lands mid-transmission: impossible on a
+        // half-duplex radio.
+        c.on_indication(us(200), &rx(0, &m));
+        let report = c.finish(us(1000));
+        assert_eq!(report.count(Invariant::C5HalfDuplex), 1);
+    }
+
+    #[test]
+    fn c5_accepts_reception_after_tx_ends() {
+        let mut c = checker(ProtocolClass::Rmac);
+        let m = mrts();
+        let air = m.airtime();
+        c.on_tx_start(us(100), NodeId(0), &m);
+        c.on_indication(
+            us(100) + air,
+            &Indication::TxDone {
+                node: NodeId(0),
+                frame: m.clone(),
+                aborted: false,
+            },
+        );
+        // Arrival strictly after the tx interval.
+        c.on_indication(us(100) + air + air + SimTime::from_micros(5), &rx(0, &m));
+        assert!(c.finish(us(5000)).is_clean());
+    }
+
+    #[test]
+    fn c4_flags_illegal_edges_only() {
+        let mut c = checker(ProtocolClass::Rmac);
+        let labels = EXPECTED_LABELS;
+        let mut matrix = vec![0u64; STATES * STATES];
+        matrix[2 * STATES + 3] = 5; // TX_MRTS → WF_RBT: legal
+        c.check_transitions(NodeId(0), &labels, &matrix);
+        matrix[STATES * 6 + 4] = 1; // WF_RDATA → TX_RDATA: illegal
+        c.check_transitions(NodeId(1), &labels, &matrix);
+        let report = c.finish(us(0));
+        assert_eq!(report.transition_nodes, 2);
+        assert_eq!(report.count(Invariant::C4LegalTransition), 1);
+        assert!(report.violations[0].detail.contains("WF_RDATA"));
+    }
+
+    #[test]
+    fn bmmm_responses_are_governed() {
+        let mut c = checker(ProtocolClass::Bmmm);
+        let rts = Frame::control(FrameKind::Rts, NodeId(0), NodeId(1), SimTime::ZERO);
+        let cts = Frame::control(FrameKind::Cts, NodeId(1), NodeId(0), SimTime::ZERO);
+        // Ungoverned CTS first…
+        c.on_tx_start(us(50), NodeId(2), &cts);
+        // …then a proper RTS → CTS handshake.
+        c.on_indication(us(100), &rx(1, &rts));
+        c.on_tx_start(us(110), NodeId(1), &cts);
+        let report = c.finish(us(1000));
+        assert_eq!(report.count(Invariant::C2GovernedResponse), 1);
+    }
+
+    #[test]
+    fn node_restart_resyncs_sensed_tones() {
+        let mut c = checker(ProtocolClass::Rmac);
+        // The tone rose before the crash and fell during the outage; at
+        // restart the channel reports it absent.
+        c.on_indication(us(100), &tone_at(0, Tone::Rbt, true));
+        c.on_node_down(NodeId(0));
+        c.on_node_up(us(5000), NodeId(0), false, false);
+        c.on_tx_start(us(6000), NodeId(0), &mrts());
+        let report = c.finish(us(10000));
+        assert!(report.is_clean(), "{}", report.summary());
+    }
+
+    #[test]
+    fn violation_cap_truncates() {
+        let mut c = Checker::new(CheckConfig {
+            nodes: 2,
+            class: ProtocolClass::Rmac,
+            max_violations: 1,
+        });
+        c.on_tone(us(10), NodeId(0), Tone::Rbt, true);
+        c.on_tone(us(20), NodeId(1), Tone::Rbt, true);
+        let report = c.finish(us(100));
+        assert_eq!(report.violations.len(), 1);
+        assert!(report.truncated);
+        assert!(!report.is_clean());
+    }
+}

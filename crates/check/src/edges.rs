@@ -1,0 +1,91 @@
+//! The legal edge set of RMAC's Fig. 14 state machine (C4).
+//!
+//! Rows/columns use the same dense indexing as the MAC's transition
+//! matrix (`rmac_core::State::index`): IDLE=0, BACKOFF=1, TX_MRTS=2,
+//! WF_RBT=3, TX_RDATA=4, WF_ABT=5, WF_RDATA=6, TX_UNRDATA=7.
+
+/// Number of states (must match `rmac_core::State::COUNT`).
+pub const STATES: usize = 8;
+
+/// The state labels the checker validates matrices against. A matrix
+/// whose labels differ is skipped, not failed — it belongs to a machine
+/// this table does not describe.
+pub const EXPECTED_LABELS: [&str; STATES] = [
+    "IDLE",
+    "BACKOFF",
+    "TX_MRTS",
+    "WF_RBT",
+    "TX_RDATA",
+    "WF_ABT",
+    "WF_RDATA",
+    "TX_UNRDATA",
+];
+
+/// Legal `(from, to)` edges, derived from Table 1's conditions:
+///
+/// * IDLE → BACKOFF (C8), TX_MRTS / TX_UNRDATA (C1/C10), WF_RDATA (MRTS
+///   accepted).
+/// * BACKOFF → IDLE (suspend on busy channel, or countdown expiry),
+///   WF_RDATA (MRTS accepted while counting down).
+/// * TX_MRTS → WF_RBT (C17), IDLE (aborted on an RBT rise).
+/// * WF_RBT → TX_RDATA (C18), IDLE (C12: no tone within T_WF).
+/// * TX_RDATA → WF_ABT (C19).
+/// * WF_ABT → IDLE (C13–C16: ABTs collected or the retry fails).
+/// * WF_RDATA → IDLE (data received, timeout, or corrupt frame).
+/// * TX_UNRDATA → IDLE (sent or aborted).
+const LEGAL: [(usize, usize); 14] = [
+    (0, 1),
+    (0, 2),
+    (0, 6),
+    (0, 7),
+    (1, 0),
+    (1, 6),
+    (2, 3),
+    (2, 0),
+    (3, 4),
+    (3, 0),
+    (4, 5),
+    (5, 0),
+    (6, 0),
+    (7, 0),
+];
+
+/// Whether `(from, to)` is a legal Fig. 14 edge.
+pub fn is_legal(from: usize, to: usize) -> bool {
+    LEGAL.contains(&(from, to))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn senders_happy_path_is_legal() {
+        // IDLE → BACKOFF → IDLE → TX_MRTS → WF_RBT → TX_RDATA → WF_ABT → IDLE
+        for (f, t) in [(0, 1), (1, 0), (0, 2), (2, 3), (3, 4), (4, 5), (5, 0)] {
+            assert!(is_legal(f, t), "({f},{t}) should be legal");
+        }
+    }
+
+    #[test]
+    fn receivers_path_is_legal() {
+        assert!(is_legal(0, 6));
+        assert!(is_legal(1, 6));
+        assert!(is_legal(6, 0));
+    }
+
+    #[test]
+    fn nonsense_edges_are_illegal() {
+        // Self-loops never happen (set_state is only called on change).
+        for s in 0..STATES {
+            assert!(!is_legal(s, s), "self loop {s}");
+        }
+        // A receiver state cannot jump into a sender's TX state.
+        assert!(!is_legal(6, 4));
+        // Data cannot be transmitted without the WF_RBT detection first.
+        assert!(!is_legal(2, 4));
+        assert!(!is_legal(0, 4));
+        // WF_ABT only ever resolves to IDLE.
+        assert!(!is_legal(5, 4));
+    }
+}

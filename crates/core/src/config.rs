@@ -22,6 +22,11 @@ pub struct MacConfig {
     /// data reception (the tone still answers the MRTS), so data frames
     /// lose their hidden-terminal protection.
     pub rbt_data_protection: bool,
+    /// Deliberate conformance mutant: when true the sender skips the
+    /// WF_RBT λ-detection and transmits reliable data even when no RBT was
+    /// sensed. Exists so the checker's C1 invariant has a known-broken MAC
+    /// to catch; never enabled in experiments.
+    pub skip_rbt_sense: bool,
 }
 
 impl Default for MacConfig {
@@ -33,6 +38,7 @@ impl Default for MacConfig {
             max_receivers: MAX_MRTS_RECEIVERS,
             queue_capacity: 512,
             rbt_data_protection: true,
+            skip_rbt_sense: false,
         }
     }
 }
@@ -49,5 +55,6 @@ mod tests {
         assert_eq!(c.retry_limit, 7);
         assert_eq!(c.max_receivers, 20);
         assert!(c.rbt_data_protection);
+        assert!(!c.skip_rbt_sense);
     }
 }

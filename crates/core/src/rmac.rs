@@ -531,7 +531,9 @@ impl Rmac {
             return;
         }
         let log = ctx.close_tone_watch(Tone::Rbt);
-        if log.max_on() >= LAMBDA {
+        // `skip_rbt_sense` is the deliberate conformance mutant: data goes
+        // out whether or not any receiver answered (checker invariant C1).
+        if self.cfg.skip_rbt_sense || log.max_on() >= LAMBDA {
             // C18: RBT detected — transmit the reliable data frame.
             let Some(Job::Reliable(job)) = self.job.as_ref() else {
                 unreachable!("WF_RBT without a reliable job");

@@ -4,6 +4,8 @@
 //! Used by this crate's own state-machine tests and by the baseline
 //! protocols in `rmac-baselines`. Not intended for production use.
 
+pub mod fuzz;
+
 use std::collections::VecDeque;
 
 use rmac_phy::{Indication, Tone, ToneLog};

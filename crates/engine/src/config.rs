@@ -16,6 +16,11 @@ pub enum Protocol {
     /// Ablation X2: RMAC with the RBT lowered at the first data bit, so
     /// data receptions lose hidden-terminal protection.
     RmacNoRbt,
+    /// Deliberately broken mutant: the sender skips the WF_RBT λ-detection
+    /// and transmits reliable data even when no receiver answered. Exists
+    /// to prove the conformance checker catches the breach (invariant C1);
+    /// never used in experiments.
+    RmacSkipRbtSense,
     /// BMMM (the paper's comparison baseline).
     Bmmm,
     /// BMW (extension baseline).
@@ -32,10 +37,24 @@ impl Protocol {
         match self {
             Protocol::Rmac => "RMAC",
             Protocol::RmacNoRbt => "RMAC-noRBT",
+            Protocol::RmacSkipRbtSense => "RMAC-skipRbtSense",
             Protocol::Bmmm => "BMMM",
             Protocol::Bmw => "BMW",
             Protocol::Lbp => "LBP",
             Protocol::Mx80211 => "802.11MX",
+        }
+    }
+
+    /// Which conformance invariant family ([`rmac_check::ProtocolClass`])
+    /// this protocol is checked against. The RMAC mutants stay in the RMAC
+    /// class on purpose: the checker is what exposes their breach.
+    pub fn conformance_class(self) -> rmac_check::ProtocolClass {
+        match self {
+            Protocol::Rmac | Protocol::RmacNoRbt | Protocol::RmacSkipRbtSense => {
+                rmac_check::ProtocolClass::Rmac
+            }
+            Protocol::Bmmm => rmac_check::ProtocolClass::Bmmm,
+            Protocol::Bmw | Protocol::Lbp | Protocol::Mx80211 => rmac_check::ProtocolClass::Other,
         }
     }
 
@@ -47,6 +66,13 @@ impl Protocol {
                 id,
                 MacConfig {
                     rbt_data_protection: false,
+                    ..cfg
+                },
+            )),
+            Protocol::RmacSkipRbtSense => Box::new(Rmac::new(
+                id,
+                MacConfig {
+                    skip_rbt_sense: true,
                     ..cfg
                 },
             )),
@@ -103,6 +129,10 @@ pub struct ScenarioConfig {
     /// `tests/grid_equivalence.rs`); disabling it exists for A/B
     /// benchmarking and as a diagnostic escape hatch.
     pub phy_grid: bool,
+    /// Attach the protocol-conformance checker ([`crate::run_replication_checked`]
+    /// panics on any invariant violation). Off by default; like the obs
+    /// layer, an attached checker never perturbs the simulation.
+    pub check: bool,
 }
 
 impl ScenarioConfig {
@@ -130,6 +160,7 @@ impl ScenarioConfig {
             positions: None,
             reliable_forwarding: true,
             phy_grid: true,
+            check: false,
         }
     }
 
@@ -189,6 +220,13 @@ impl ScenarioConfig {
     /// the spatial grid (A/B benchmarking; results are bit-identical).
     pub fn with_brute_force_phy(mut self) -> Self {
         self.phy_grid = false;
+        self
+    }
+
+    /// Run with the protocol-conformance checker attached (every invariant
+    /// violation fails the run).
+    pub fn with_check(mut self) -> Self {
+        self.check = true;
         self
     }
 

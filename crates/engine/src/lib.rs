@@ -24,10 +24,11 @@ pub mod world;
 
 pub use config::{Protocol, ScenarioConfig};
 pub use obs::ObsConfig;
+pub use rmac_check::{CheckReport, Invariant, Violation};
 pub use rmac_faults::FaultPlan;
 pub use rmac_obs::ObsReport;
 pub use trace::{
     filter_tracer, jsonl_file_tracer, JsonlSink, SinkSummary, TraceEvent, TraceLevel, TraceWhat,
     Tracer,
 };
-pub use world::{run_replication, run_replication_with_faults, Runner};
+pub use world::{run_replication, run_replication_checked, run_replication_with_faults, Runner};

@@ -1,6 +1,7 @@
 //! The event loop: one simulation replication.
 
 use bytes::Bytes;
+use rmac_check::{CheckConfig, CheckReport, Checker};
 use rmac_core::api::{MacContext, MacCounters, MacService, TimerKind, TxOutcome, TxRequest};
 use rmac_faults::{ChurnKind, FaultInjector, FaultPlan, JamTarget};
 use rmac_metrics::{percentile, RunReport};
@@ -75,6 +76,9 @@ struct WorldCore {
     /// Optional deep instrumentation ([`crate::Runner::set_obs`]). Boxed so
     /// the disabled path costs one pointer-sized `Option` check.
     obs: Option<Box<EngineObs>>,
+    /// Optional protocol-conformance checker ([`crate::Runner::set_check`]),
+    /// attached the same zero-cost-when-off way as `obs`.
+    check: Option<Box<Checker>>,
 }
 
 impl WorldCore {
@@ -123,6 +127,9 @@ impl MacContext for Ctx<'_> {
         );
     }
     fn start_tx(&mut self, frame: Frame) {
+        if let Some(chk) = self.core.check.as_mut() {
+            chk.on_tx_start(self.core.q.now(), self.node, &frame);
+        }
         self.core
             .channel
             .start_tx(&mut self.core.q, self.node, frame);
@@ -131,11 +138,17 @@ impl MacContext for Ctx<'_> {
         self.core.channel.abort_tx(&mut self.core.q, self.node);
     }
     fn start_tone(&mut self, tone: Tone) {
+        if let Some(chk) = self.core.check.as_mut() {
+            chk.on_tone(self.core.q.now(), self.node, tone, true);
+        }
         self.core
             .channel
             .start_tone(&mut self.core.q, self.node, tone);
     }
     fn stop_tone(&mut self, tone: Tone) {
+        if let Some(chk) = self.core.check.as_mut() {
+            chk.on_tone(self.core.q.now(), self.node, tone, false);
+        }
         self.core
             .channel
             .stop_tone(&mut self.core.q, self.node, tone);
@@ -280,7 +293,7 @@ impl Runner {
         // timers and beacons per node. 64 slots per node slot covers dense
         // contention rounds without reallocating mid-replication.
         let queue_capacity = (node_slots * 64).max(4096);
-        Runner {
+        let mut runner = Runner {
             core: WorldCore {
                 q: EventQueue::with_capacity(queue_capacity),
                 channel,
@@ -291,6 +304,7 @@ impl Runner {
                 skew,
                 down: vec![false; cfg.nodes],
                 obs: None,
+                check: None,
             },
             macs,
             nets,
@@ -310,7 +324,11 @@ impl Runner {
                 })
             },
             inds_scratch: Vec::new(),
+        };
+        if cfg.check {
+            runner.set_check();
         }
+        runner
     }
 
     /// Attach an observer that sees every PHY indication, submission and
@@ -328,6 +346,22 @@ impl Runner {
         self.core.obs = Some(Box::new(EngineObs::new(cfg, self.cfg.nodes)));
         // Transition counting lives in the MACs (they cannot see `obs`),
         // gated so detached runs skip the per-transition increment.
+        for mac in self.macs.iter_mut() {
+            mac.enable_transition_counting();
+        }
+    }
+
+    /// Attach the protocol-conformance checker ([`rmac_check`]): every
+    /// transmission start, tone emission and PHY indication is streamed
+    /// through the invariant catalogue (DESIGN.md §8). Like the obs layer
+    /// the checker never perturbs the simulation — it draws no randomness
+    /// and schedules nothing, so reports stay bit-identical.
+    pub fn set_check(&mut self) {
+        self.core.check = Some(Box::new(Checker::new(CheckConfig::new(
+            self.cfg.nodes,
+            self.protocol.conformance_class(),
+        ))));
+        // C4 needs the MACs' transition matrices (same mechanism obs uses).
         for mac in self.macs.iter_mut() {
             mac.enable_transition_counting();
         }
@@ -373,6 +407,7 @@ impl Runner {
     pub fn run_with_tree(self, seed: u64) -> (RunReport, Vec<Option<NodeId>>) {
         let mut me = self;
         me.run_loop();
+        me.assert_check_clean();
         let parents = me.nets.iter().map(|n| n.bless().parent()).collect();
         (me.collect(seed), parents)
     }
@@ -380,6 +415,7 @@ impl Runner {
     /// Run to completion and produce the replication's report.
     pub fn run(mut self, seed: u64) -> RunReport {
         self.run_loop();
+        self.assert_check_clean();
         self.collect(seed)
     }
 
@@ -387,8 +423,51 @@ impl Runner {
     /// [`Runner::set_obs`] was called, the observability report.
     pub fn run_obs(mut self, seed: u64) -> (RunReport, Option<ObsReport>) {
         self.run_loop();
+        self.assert_check_clean();
         let obs = self.finish_obs();
         (self.collect(seed), obs)
+    }
+
+    /// Run to completion and return the conformance report alongside the
+    /// replication's report instead of panicking on violations (fuzzing and
+    /// the checker's own tests — a mutant MAC *should* produce a dirty
+    /// report, not a panic).
+    ///
+    /// The checker must be attached (`cfg.check` or [`Runner::set_check`]).
+    pub fn run_checked(mut self, seed: u64) -> (RunReport, CheckReport) {
+        assert!(
+            self.core.check.is_some(),
+            "run_checked without an attached checker (set `cfg.check`)"
+        );
+        self.run_loop();
+        let check = self.finish_check().expect("checker vanished mid-run");
+        (self.collect(seed), check)
+    }
+
+    /// Close out the attached checker: validate the end-of-run transition
+    /// matrices (C4) and assemble the report.
+    fn finish_check(&mut self) -> Option<CheckReport> {
+        let mut check = self.core.check.take()?;
+        for (i, mac) in self.macs.iter().enumerate() {
+            if let Some((labels, matrix)) = mac.transitions() {
+                check.check_transitions(NodeId(i as u16), labels, &matrix);
+            }
+        }
+        Some(check.finish(self.core.q.now()))
+    }
+
+    /// Panic with the full violation listing when an attached checker found
+    /// any breach. No-op when detached (the common path) or clean.
+    fn assert_check_clean(&mut self) {
+        if let Some(report) = self.finish_check() {
+            assert!(
+                report.is_clean(),
+                "protocol-conformance check failed ({}, scenario '{}'):\n{}",
+                self.protocol.label(),
+                self.cfg.name,
+                report.summary()
+            );
+        }
     }
 
     fn run_loop(&mut self) {
@@ -634,6 +713,11 @@ impl Runner {
                         self.core.channel.stop_tone(&mut self.core.q, node, tone);
                     }
                 }
+                // The crash (not the protocol) cut short whatever was in
+                // flight; wipe the node's conformance state accordingly.
+                if let Some(chk) = self.core.check.as_mut() {
+                    chk.on_node_down(node);
+                }
             }
             FaultEv::NodeUp { node } => {
                 self.trace(node, TraceWhat::Fault { label: "restart" });
@@ -643,9 +727,19 @@ impl Runner {
                 // incarnation's timers cannot reach the new one.
                 self.core.epochs[node.idx()] = self.core.epochs[node.idx()].wrapping_add(1);
                 self.macs[node.idx()] = self.protocol.make_mac(node, self.cfg.mac);
-                if self.core.obs.is_some() {
+                if self.core.obs.is_some() || self.core.check.is_some() {
                     // Keep the revived incarnation observable too.
                     self.macs[node.idx()].enable_transition_counting();
+                }
+                // Tone edges during the outage were delivered to no one;
+                // resync the checker's sensed-tone model from the channel.
+                if self.core.check.is_some() {
+                    let now = self.core.q.now();
+                    let rbt = self.core.channel.tone_present(node, Tone::Rbt);
+                    let abt = self.core.channel.tone_present(node, Tone::Abt);
+                    if let Some(chk) = self.core.check.as_mut() {
+                        chk.on_node_up(now, node, rbt, abt);
+                    }
                 }
                 let bless_cfg = BlessConfig {
                     beacon_period: self.cfg.beacon_period,
@@ -779,6 +873,11 @@ impl Runner {
         }
         if self.core.obs.is_some() {
             self.observe_indication(node, ind);
+        }
+        // The checker sees the indication before the MAC reacts, keeping its
+        // sensed-state model in lockstep with what the MAC can observe.
+        if let Some(chk) = self.core.check.as_mut() {
+            chk.on_indication(self.core.q.now(), ind);
         }
         self.trace_indication(ind);
         let mut delivered = Vec::new();
@@ -1057,6 +1156,22 @@ pub fn run_replication_with_faults(
     plan: &FaultPlan,
 ) -> RunReport {
     Runner::with_faults(cfg, protocol, seed, plan).run(seed)
+}
+
+/// Run one replication with the conformance checker attached (regardless
+/// of `cfg.check`) and return the conformance report alongside the run's,
+/// without panicking on violations. The fuzzer's entry point.
+pub fn run_replication_checked(
+    cfg: &ScenarioConfig,
+    protocol: Protocol,
+    seed: u64,
+    plan: &FaultPlan,
+) -> (RunReport, CheckReport) {
+    let mut runner = Runner::with_faults(cfg, protocol, seed, plan);
+    if runner.core.check.is_none() {
+        runner.set_check();
+    }
+    runner.run_checked(seed)
 }
 
 #[cfg(test)]

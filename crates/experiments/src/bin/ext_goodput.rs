@@ -7,7 +7,8 @@
 //! tracks the offered rate; past it, goodput flattens (RMAC) or collapses
 //! (BMMM) while delay explodes.
 
-use rmac_engine::{run_replication, Protocol, ScenarioConfig};
+use rmac_engine::{Protocol, ScenarioConfig};
+use rmac_experiments::try_replications;
 use rmac_metrics::table::fmt;
 use rmac_metrics::{RunReport, Table};
 
@@ -32,9 +33,13 @@ fn main() {
     );
     for rate in [10.0, 20.0, 30.0, 40.0, 60.0, 80.0, 120.0, 160.0, 200.0] {
         let cfg = ScenarioConfig::paper_stationary(rate).with_packets(packets);
-        let avg = |p: Protocol| {
-            let rs: Vec<RunReport> = (0..seeds).map(|s| run_replication(&cfg, p, s)).collect();
-            RunReport::average(&rs)
+        let seed_list: Vec<u64> = (0..seeds).collect();
+        let avg = |p: Protocol| match try_replications(&cfg, p, &seed_list) {
+            Ok(rs) => RunReport::average(&rs),
+            Err(e) => {
+                eprintln!("ext_goodput: {e}");
+                std::process::exit(1);
+            }
         };
         let rmac = avg(Protocol::Rmac);
         let bmmm = avg(Protocol::Bmmm);

@@ -8,7 +8,8 @@
 //! demonstrating the generalised protocol's claim that busy-tone
 //! acknowledgment pays off even without multicast fan-out.
 
-use rmac_engine::{run_replication, Protocol, ScenarioConfig};
+use rmac_engine::{Protocol, ScenarioConfig};
+use rmac_experiments::try_replications;
 use rmac_metrics::table::fmt;
 use rmac_metrics::{RunReport, Table};
 use rmac_mobility::Pos;
@@ -42,8 +43,13 @@ fn main() {
         for rate in [20.0, 80.0, 160.0] {
             let cfg = flow(hops, rate, packets);
             let avg = |p: Protocol| -> RunReport {
-                let rs: Vec<RunReport> = (0..3).map(|s| run_replication(&cfg, p, s)).collect();
-                RunReport::average(&rs)
+                match try_replications(&cfg, p, &[0, 1, 2]) {
+                    Ok(rs) => RunReport::average(&rs),
+                    Err(e) => {
+                        eprintln!("ext_unicast: {e}");
+                        std::process::exit(1);
+                    }
+                }
             };
             let rmac = avg(Protocol::Rmac);
             let bmmm = avg(Protocol::Bmmm);

@@ -1,0 +1,107 @@
+//! Seeded scenario fuzzer: draw randomized topologies/traffic/fault
+//! plans, run RMAC and BMMM under the conformance checker, and shrink any
+//! violation to a minimal reproducer in `results/repros/`.
+//!
+//! Cases are drawn deterministically (the proptest shim's per-case RNG),
+//! so `fuzz_scenarios --cases N --offset K` always replays the same
+//! scenarios; a failing case number is itself the reproducer seed.
+//!
+//! ```text
+//! fuzz_scenarios                  # default budget (2000 cases, ~2 s)
+//! fuzz_scenarios --smoke          # CI smoke: 1000 fixed cases
+//! fuzz_scenarios --cases 50000    # bigger sweep
+//! fuzz_scenarios --offset 100000  # explore a different fixed region
+//! ```
+//!
+//! Exit status is nonzero iff any case violated an invariant (or the
+//! stack panicked), after all cases have run.
+
+use std::path::Path;
+use std::time::Instant;
+
+use proptest::prelude::Strategy;
+use proptest::test_runner::TestRng;
+use rmac_core::testkit::fuzz::scenario_strategy;
+use rmac_experiments::fuzz::{run_case, shrink, write_repro, CaseOutcome};
+
+/// Replication budget for shrinking one failing case.
+const SHRINK_BUDGET: usize = 60;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cases: u32 = 2000;
+    let mut offset: u32 = 0;
+    let mut verbose = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => cases = 1000,
+            "--cases" => {
+                i += 1;
+                cases = args[i].parse().expect("--cases N");
+            }
+            "--offset" => {
+                i += 1;
+                offset = args[i].parse().expect("--offset K");
+            }
+            "--verbose" => verbose = true,
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    // Panics inside a case are caught and reported as findings; silence
+    // the default hook's backtrace spew so the fuzzer's own log stays
+    // readable.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let strat = scenario_strategy();
+    let repro_dir = Path::new("results/repros");
+    let started = Instant::now();
+    let mut failures = 0u32;
+    for case in offset..offset + cases {
+        let fs = strat.generate(&mut TestRng::for_case("fuzz_scenarios", case));
+        let seed = u64::from(case);
+        let outcome = run_case(&fs, seed);
+        match outcome.signature() {
+            None => {
+                if verbose {
+                    println!("case {case:4}  ok    {}", fs.label());
+                }
+            }
+            Some(sig) => {
+                failures += 1;
+                println!("case {case:4}  FAIL  {}  [{sig}]", fs.label());
+                let (minimal, spent) = shrink(&fs, seed, &sig, SHRINK_BUDGET);
+                let detail = match run_case(&minimal, seed) {
+                    CaseOutcome::Clean => "shrunk case no longer reproduces".to_string(),
+                    o => o.describe(),
+                };
+                match write_repro(repro_dir, case, &minimal, seed, &sig, &detail) {
+                    Ok(path) => println!(
+                        "           shrunk to {} nodes in {spent} runs -> {}",
+                        minimal.nodes(),
+                        path.display()
+                    ),
+                    Err(e) => eprintln!("           could not write reproducer: {e}"),
+                }
+            }
+        }
+    }
+    std::panic::set_hook(default_hook);
+
+    println!(
+        "{} case(s), {} failure(s), {:.1} s",
+        cases,
+        failures,
+        started.elapsed().as_secs_f64()
+    );
+    if failures > 0 {
+        eprintln!("reproducers in {}", repro_dir.display());
+        std::process::exit(1);
+    }
+}

@@ -19,6 +19,8 @@
 //! | `RMAC_QUICK` | `1` ⇒ tiny smoke-scale grid | unset |
 
 pub mod figures;
+pub mod fuzz;
 pub mod sweep;
 
-pub use sweep::{run_sweep, ScenarioKind, SweepResults, SweepSpec};
+pub use fuzz::{materialize, run_case, shrink, CaseOutcome};
+pub use sweep::{run_sweep, try_replications, ScenarioKind, SweepResults, SweepSpec};

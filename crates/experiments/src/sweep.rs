@@ -153,6 +153,43 @@ impl SweepResults {
     }
 }
 
+/// Run one replication per seed in parallel, turning any panic inside a
+/// worker into an `Err` naming the protocol and seed.
+///
+/// The vendored rayon (like upstream) propagates a worker panic at the
+/// scope join, which tears the whole process down mid-table with an
+/// unhelpful backtrace — and, worse, a binary that already printed
+/// partial results can look like it succeeded. Catching the unwind
+/// *inside* the closure keeps every other replication running and lets
+/// the caller report the failure and exit nonzero deliberately.
+pub fn try_replications(
+    cfg: &ScenarioConfig,
+    protocol: Protocol,
+    seeds: &[u64],
+) -> Result<Vec<RunReport>, String> {
+    let outcomes: Vec<Result<RunReport, String>> = seeds
+        .par_iter()
+        .map(|&seed| {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_replication(cfg, protocol, seed)
+            }))
+            .map_err(|payload| {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                format!(
+                    "replication panicked ({} '{}', seed {seed}): {msg}",
+                    protocol.label(),
+                    cfg.name
+                )
+            })
+        })
+        .collect();
+    outcomes.into_iter().collect()
+}
+
 /// Execute a sweep: replications run in parallel (rayon), grid points are
 /// averaged over seeds exactly as the paper averages its ten placements.
 pub fn run_sweep(spec: &SweepSpec) -> SweepResults {

@@ -195,6 +195,12 @@ pub fn decode(data: &[u8], implicit_src: NodeId) -> Result<Frame, CodecError> {
                 .node_id()
                 .ok_or(CodecError::BadAddress)?;
             let count = body[7] as usize;
+            if count == 0 {
+                // Reliable Send always names its receivers (§3.3.2), so the
+                // minimum legal MRTS carries one address; `Frame::mrts`
+                // rejects an empty list, and so must the decoder.
+                return Err(CodecError::Truncated);
+            }
             if count > MAX_MRTS_RECEIVERS {
                 return Err(CodecError::TooManyReceivers(count));
             }

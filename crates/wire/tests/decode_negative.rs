@@ -1,0 +1,245 @@
+//! Negative-path decode tests: hostile or damaged byte strings must come
+//! back as a typed [`CodecError`], never a panic or a silently wrong
+//! frame. The conformance checker (rmac-check C3) trusts
+//! `Frame::length_bytes` / `airtime`; these tests pin down the other half
+//! of that contract — bytes that don't match the Fig. 3 layouts are
+//! rejected at the codec boundary.
+
+use rmac_wire::addr::NodeId;
+use rmac_wire::codec::{decode, encode, CodecError};
+use rmac_wire::consts::MAX_MRTS_RECEIVERS;
+use rmac_wire::crc::crc32;
+use rmac_wire::{Frame, FrameKind};
+
+fn n(i: u16) -> NodeId {
+    NodeId(i)
+}
+
+/// Append a *valid* FCS to a hand-built body, so tests exercise the layout
+/// checks behind the FCS gate rather than tripping on `BadFcs` first.
+fn seal(body: &[u8]) -> Vec<u8> {
+    let mut out = body.to_vec();
+    out.extend_from_slice(&crc32(body).to_be_bytes());
+    out
+}
+
+fn mac_bytes(id: u16) -> [u8; 6] {
+    NodeId(id).mac().0
+}
+
+#[test]
+fn mrts_count_byte_claims_more_receivers_than_present() {
+    // type(1) src(6) count(1) + only ONE 6-byte address, but count says 3.
+    let mut body = vec![FrameKind::Mrts as u8];
+    body.extend_from_slice(&mac_bytes(4));
+    body.push(3);
+    body.extend_from_slice(&mac_bytes(1));
+    let wire = seal(&body);
+    assert_eq!(decode(&wire, n(0)).unwrap_err(), CodecError::Truncated);
+}
+
+#[test]
+fn mrts_count_zero_is_rejected_not_constructed() {
+    // Reliable Send always names at least one receiver; `Frame::mrts`
+    // debug-asserts non-empty, so the decoder must refuse a count of 0
+    // rather than build a frame that violates that contract.
+    let mut body = vec![FrameKind::Mrts as u8];
+    body.extend_from_slice(&mac_bytes(4));
+    body.push(0);
+    let wire = seal(&body);
+    assert_eq!(decode(&wire, n(0)).unwrap_err(), CodecError::Truncated);
+}
+
+#[test]
+fn mrts_receiver_count_over_the_section_3_4_limit_is_rejected() {
+    // §3.4: an MRTS can name at most 20 receivers (352 µs NAV / 17 µs
+    // per ABT slot). The count byte is validated BEFORE the length check,
+    // so an oversized claim is TooManyReceivers even when the addresses
+    // are actually present.
+    let count = MAX_MRTS_RECEIVERS + 1;
+    let mut body = vec![FrameKind::Mrts as u8];
+    body.extend_from_slice(&mac_bytes(4));
+    body.push(count as u8);
+    for i in 0..count {
+        body.extend_from_slice(&mac_bytes(i as u16));
+    }
+    let wire = seal(&body);
+    assert_eq!(
+        decode(&wire, n(0)).unwrap_err(),
+        CodecError::TooManyReceivers(count)
+    );
+}
+
+#[test]
+fn mrts_receiver_count_255_without_payload_is_rejected_cheaply() {
+    // A malicious count byte of 255 with no addresses behind it must fail
+    // on the count check, not attempt a 1.5 KB read.
+    let mut body = vec![FrameKind::Mrts as u8];
+    body.extend_from_slice(&mac_bytes(4));
+    body.push(255);
+    let wire = seal(&body);
+    assert_eq!(
+        decode(&wire, n(0)).unwrap_err(),
+        CodecError::TooManyReceivers(255)
+    );
+}
+
+#[test]
+fn mrts_with_foreign_oui_receiver_is_bad_address() {
+    let mut body = vec![FrameKind::Mrts as u8];
+    body.extend_from_slice(&mac_bytes(4));
+    body.push(1);
+    body.extend_from_slice(&[0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x01]);
+    let wire = seal(&body);
+    assert_eq!(decode(&wire, n(0)).unwrap_err(), CodecError::BadAddress);
+}
+
+#[test]
+fn mrts_with_foreign_oui_transmitter_is_bad_address() {
+    let mut body = vec![FrameKind::Mrts as u8];
+    body.extend_from_slice(&[0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x01]);
+    body.push(1);
+    body.extend_from_slice(&mac_bytes(1));
+    let wire = seal(&body);
+    assert_eq!(decode(&wire, n(0)).unwrap_err(), CodecError::BadAddress);
+}
+
+#[test]
+fn bad_fcs_reports_both_sums() {
+    let f = Frame::mrts(n(3), vec![n(1), n(2)]);
+    let mut wire = encode(&f).to_vec();
+    let len = wire.len();
+    // Flip a bit in the FCS itself.
+    wire[len - 1] ^= 0x01;
+    match decode(&wire, n(0)) {
+        Err(CodecError::BadFcs { expected, actual }) => {
+            assert_ne!(expected, actual);
+            assert_eq!(expected, crc32(&wire[..len - 4]));
+        }
+        other => panic!("expected BadFcs, got {other:?}"),
+    }
+}
+
+#[test]
+fn fcs_is_checked_before_layout() {
+    // Corrupt the count byte of an MRTS: the FCS gate must fire first, so
+    // a corrupted frame is never mis-parsed into a plausible-looking one.
+    let f = Frame::mrts(n(3), vec![n(1)]);
+    let mut wire = encode(&f).to_vec();
+    wire[7] = 200; // count byte: would be TooManyReceivers if layout ran
+    assert!(matches!(
+        decode(&wire, n(0)),
+        Err(CodecError::BadFcs { .. })
+    ));
+}
+
+#[test]
+fn short_inputs_are_truncated_not_panics() {
+    // Anything under the 5-byte floor (1 body byte + 4 FCS) is Truncated.
+    for len in 0..5 {
+        let bytes = vec![0u8; len];
+        assert_eq!(
+            decode(&bytes, n(0)).unwrap_err(),
+            CodecError::Truncated,
+            "len={len}"
+        );
+    }
+}
+
+#[test]
+fn every_truncation_of_a_valid_mrts_errors_cleanly() {
+    let f = Frame::mrts(n(3), vec![n(1), n(7), n(2), n(9)]);
+    let wire = encode(&f).to_vec();
+    for len in 0..wire.len() {
+        // Every strict prefix must decode to SOME error (usually BadFcs —
+        // the prefix's last 4 bytes are not its checksum; occasionally
+        // Truncated), and must never panic or produce a frame.
+        assert!(
+            decode(&wire[..len], n(0)).is_err(),
+            "prefix of len {len} decoded"
+        );
+    }
+}
+
+#[test]
+fn every_truncation_of_a_valid_data_frame_errors_cleanly() {
+    let f = Frame::data_reliable(
+        n(1),
+        rmac_wire::Dest::Node(n(2)),
+        bytes::Bytes::from_static(b"payload-bytes"),
+        77,
+    );
+    let wire = encode(&f).to_vec();
+    for len in 0..wire.len() {
+        assert!(
+            decode(&wire[..len], n(0)).is_err(),
+            "prefix of len {len} decoded"
+        );
+    }
+}
+
+#[test]
+fn resealed_truncated_control_frames_hit_the_layout_check() {
+    // Re-sealing a truncated body with a fresh valid FCS gets past the
+    // checksum and must then fail the per-kind minimum-length check.
+    for kind in [
+        FrameKind::Rts,
+        FrameKind::Cts,
+        FrameKind::Ack,
+        FrameKind::Rak,
+        FrameKind::Ncts,
+        FrameKind::Nak,
+    ] {
+        let body = [kind as u8, 0, 0, 10]; // header only, RA missing
+        let wire = seal(&body);
+        assert_eq!(
+            decode(&wire, n(0)).unwrap_err(),
+            CodecError::Truncated,
+            "{kind:?}"
+        );
+    }
+}
+
+#[test]
+fn resealed_truncated_data_header_is_truncated() {
+    // Data header needs 24 body bytes; give it 12.
+    let mut body = vec![FrameKind::DataReliable as u8, 0, 0, 0, 0, 5];
+    body.extend_from_slice(&mac_bytes(1));
+    let wire = seal(&body);
+    assert_eq!(decode(&wire, n(0)).unwrap_err(), CodecError::Truncated);
+}
+
+#[test]
+fn unknown_kind_bytes_are_rejected_by_value() {
+    for k in [0u8, 10, 42, 0xFF] {
+        let body = [k, 0, 0, 0, 0, 0, 0, 0, 0, 0];
+        let wire = seal(&body);
+        assert_eq!(
+            decode(&wire, n(0)).unwrap_err(),
+            CodecError::UnknownKind(k),
+            "kind byte {k}"
+        );
+    }
+}
+
+#[test]
+fn codec_errors_render_distinct_messages() {
+    // The fuzzer logs these; make sure each variant's Display is usable.
+    let msgs = [
+        CodecError::Truncated.to_string(),
+        CodecError::BadFcs {
+            expected: 1,
+            actual: 2,
+        }
+        .to_string(),
+        CodecError::UnknownKind(42).to_string(),
+        CodecError::BadAddress.to_string(),
+        CodecError::TooManyReceivers(21).to_string(),
+    ];
+    for (i, a) in msgs.iter().enumerate() {
+        assert!(!a.is_empty());
+        for b in msgs.iter().skip(i + 1) {
+            assert_ne!(a, b);
+        }
+    }
+}

@@ -19,6 +19,7 @@
 //! ```
 
 pub use rmac_baselines as baselines;
+pub use rmac_check as check;
 pub use rmac_core as mac;
 pub use rmac_engine as engine;
 pub use rmac_faults as faults;
@@ -32,9 +33,10 @@ pub use rmac_wire as wire;
 
 /// Commonly used items for driving simulations.
 pub mod prelude {
+    pub use rmac_check::{CheckReport, Invariant};
     pub use rmac_engine::{
-        run_replication, run_replication_with_faults, ObsConfig, Protocol, Runner, ScenarioConfig,
-        TraceLevel,
+        run_replication, run_replication_checked, run_replication_with_faults, ObsConfig, Protocol,
+        Runner, ScenarioConfig, TraceLevel,
     };
     pub use rmac_faults::FaultPlan;
     pub use rmac_metrics::report::RunReport;

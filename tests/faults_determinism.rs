@@ -76,6 +76,108 @@ proptest! {
     }
 }
 
+/// A crash landing *mid-exchange* — while a reliable data frame is still
+/// on the air toward the crashing receiver — must neither wedge the MAC
+/// nor break a single conformance invariant, and must stay reproducible.
+///
+/// The crash time is trace-guided rather than hand-picked: a scout run
+/// finds the first reliable data transmission after warmup, and the churn
+/// window opens at the floor-millisecond of its completion. A 500-byte
+/// data frame occupies the air for 2 208 µs, so that millisecond is
+/// guaranteed to fall inside the frame's flight time.
+#[test]
+fn restart_during_inflight_exchange_is_safe_and_conformant() {
+    use std::sync::{Arc, Mutex};
+
+    use rmac::engine::{filter_tracer, TraceEvent, Tracer};
+    use rmac::mobility::Pos;
+
+    let scenario = ScenarioConfig::paper_stationary(10.0)
+        .with_packets(6)
+        .with_positions(vec![
+            Pos::new(0.0, 0.0),
+            Pos::new(60.0, 0.0),
+            Pos::new(0.0, 60.0),
+            Pos::new(60.0, 60.0),
+        ]);
+
+    // Scout: find when the first reliable data frame finishes sending.
+    let events: Arc<Mutex<Vec<TraceEvent>>> = Arc::default();
+    let sink = Arc::clone(&events);
+    let inner: Tracer = Box::new(move |e| sink.lock().unwrap().push(e.clone()));
+    let mut scout = Runner::with_faults(&scenario, Protocol::Rmac, 21, &FaultPlan::none());
+    scout.set_tracer(filter_tracer(TraceLevel::Frames, inner));
+    let _ = scout.run(21);
+    let data_done_ms = events
+        .lock()
+        .unwrap()
+        .iter()
+        .find_map(|e| match e.what {
+            rmac::engine::TraceWhat::TxDone {
+                kind: rmac::wire::FrameKind::DataReliable,
+                aborted: false,
+                ..
+            } => Some(e.t.nanos() / 1_000_000),
+            _ => None,
+        })
+        .expect("scout run sent reliable data");
+
+    // Crash receiver 1 inside that frame's flight, restart it 800 ms later.
+    let mut plan = FaultPlan::none().with_churn(ChurnSpec {
+        node: 1,
+        kind: ChurnKind::Crash,
+        at_ms: data_done_ms,
+        for_ms: 800,
+    });
+    plan.salt = 5;
+
+    let (a, check) = run_replication_checked(&scenario, Protocol::Rmac, 21, &plan);
+    assert!(check.is_clean(), "mid-exchange crash violated:\n{check:?}");
+    assert_eq!(a.fault_crashes, 1, "the crash window executed");
+    let (b, _) = run_replication_checked(&scenario, Protocol::Rmac, 21, &plan);
+    assert_eq!(a, b, "mid-exchange crash must stay deterministic");
+    // The other three nodes keep the network alive through the outage.
+    assert!(a.packets_sent > 0);
+}
+
+/// A jammer whose first burst opens at t = 0 — before any node has sent a
+/// frame, during PHY/MAC bring-up — must be applied cleanly: deterministic,
+/// conformant, and actually emitting bursts from the very first event.
+#[test]
+fn jammer_active_at_time_zero_is_safe() {
+    let scenario = cfg();
+    let mut plan = FaultPlan::none().with_jammer(JammerSpec {
+        x: 250.0,
+        y: 150.0,
+        target: JamTarget::Rbt,
+        start_ms: 0,
+        period_ms: 50,
+        burst_ms: 10,
+    });
+    plan.salt = 3;
+
+    let (a, check) = run_replication_checked(&scenario, Protocol::Rmac, 17, &plan);
+    assert!(check.is_clean(), "t=0 jammer violated:\n{check:?}");
+    assert!(a.fault_jam_bursts > 0, "bursts were emitted");
+    let (b, _) = run_replication_checked(&scenario, Protocol::Rmac, 17, &plan);
+    assert_eq!(a, b, "t=0 jammer must stay deterministic");
+
+    // Same property on the data channel, where the burst raises carrier
+    // instead of a tone.
+    let mut data_plan = FaultPlan::none().with_jammer(JammerSpec {
+        x: 250.0,
+        y: 150.0,
+        target: JamTarget::Data,
+        start_ms: 0,
+        period_ms: 50,
+        burst_ms: 10,
+    });
+    data_plan.salt = 3;
+    let (c, check) = run_replication_checked(&scenario, Protocol::Rmac, 17, &data_plan);
+    assert!(check.is_clean(), "t=0 data jammer violated:\n{check:?}");
+    assert!(c.fault_jam_bursts > 0);
+}
+
 /// The JSON round trip composes with the runner: a plan that survives
 /// serialisation drives the identical simulation.
 #[test]

@@ -1,0 +1,171 @@
+//! Golden-trace regression tests: three canonical scenarios whose full
+//! frame-level JSONL traces are committed under `tests/golden/` and
+//! re-derived on every run.
+//!
+//! A byte-for-byte match is a much stronger determinism statement than the
+//! `RunReport` equality the other suites check: it pins the *order and
+//! timing of every frame and fault event*, so any accidental RNG draw,
+//! reordered event, or changed airtime shows up as a one-line diff instead
+//! of a silently shifted aggregate.
+//!
+//! When a trace changes **intentionally** (protocol fix, schema change),
+//! regenerate with:
+//!
+//! ```text
+//! RMAC_REGEN_GOLDEN=1 cargo test --test golden_traces
+//! ```
+//!
+//! and review the diff like any other code change.
+
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+use rmac::engine::{filter_tracer, Runner, TraceLevel, Tracer};
+use rmac::faults::{JamTarget, JammerSpec};
+use rmac::mobility::Pos;
+use rmac::prelude::*;
+use rmac::sim::SimTime;
+
+/// Run one replication with the conformance checker on and a frame-level
+/// tracer attached; return the JSONL trace as one string.
+fn capture(cfg: &ScenarioConfig, protocol: Protocol, seed: u64, plan: &FaultPlan) -> String {
+    let lines: Arc<Mutex<Vec<String>>> = Arc::default();
+    let sink = Arc::clone(&lines);
+    let inner: Tracer = Box::new(move |e| sink.lock().expect("trace sink").push(e.to_json()));
+    let mut runner = Runner::with_faults(cfg, protocol, seed, plan);
+    runner.set_tracer(filter_tracer(TraceLevel::Frames, inner));
+    let _ = runner.run(seed);
+    let lines = lines.lock().expect("trace sink");
+    let mut out = String::with_capacity(lines.iter().map(|l| l.len() + 1).sum());
+    for l in lines.iter() {
+        out.push_str(l);
+        out.push('\n');
+    }
+    out
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Compare `actual` against the committed golden file (or rewrite it when
+/// `RMAC_REGEN_GOLDEN=1`). On mismatch, report the first diverging line —
+/// a full trace diff belongs in `git diff` after a regen, not in a panic
+/// message.
+fn assert_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var("RMAC_REGEN_GOLDEN").ok().as_deref() == Some("1") {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); generate it with RMAC_REGEN_GOLDEN=1",
+            path.display()
+        )
+    });
+    if expected == actual {
+        return;
+    }
+    let n_exp = expected.lines().count();
+    let n_act = actual.lines().count();
+    for (i, (e, a)) in expected.lines().zip(actual.lines()).enumerate() {
+        assert_eq!(
+            e,
+            a,
+            "{name}: first divergence at line {} (golden has {n_exp} lines, run produced {n_act});\n\
+             regenerate with RMAC_REGEN_GOLDEN=1 if the change is intentional",
+            i + 1
+        );
+    }
+    panic!(
+        "{name}: traces agree for the common prefix but lengths differ \
+         (golden {n_exp} lines, run {n_act}); regenerate with RMAC_REGEN_GOLDEN=1 if intentional"
+    );
+}
+
+/// Keep the traces reviewable: short warmup/drain, a handful of packets.
+fn trim(mut cfg: ScenarioConfig, name: &str) -> ScenarioConfig {
+    cfg.warmup = SimTime::from_secs(2);
+    cfg.drain = SimTime::from_secs(1);
+    cfg.name = name.to_string();
+    cfg.with_check()
+}
+
+/// Fig. 4's shape at golden fidelity: one sender multicasting to three
+/// in-range receivers — MRTS, RBT window, reliable data, ordered ABTs.
+#[test]
+fn golden_one_hop_multicast() {
+    let cfg = trim(
+        ScenarioConfig::paper_stationary(5.0)
+            .with_packets(3)
+            .with_positions(vec![
+                Pos::new(0.0, 0.0),
+                Pos::new(60.0, 0.0),
+                Pos::new(0.0, 60.0),
+                Pos::new(60.0, 60.0),
+            ]),
+        "golden-one-hop",
+    );
+    let trace = capture(&cfg, Protocol::Rmac, 7, &FaultPlan::none());
+    assert!(
+        trace.contains("\"kind\":\"Mrts\"") && trace.contains("\"kind\":\"DataReliable\""),
+        "trace lost the MRTS/data exchange"
+    );
+    assert_golden("one_hop_multicast.jsonl", &trace);
+}
+
+/// The classic hidden-terminal line: 0 and 2 are out of range of each
+/// other, both in range of 1. The trace pins how RMAC's busy tones
+/// arbitrate the middle node.
+#[test]
+fn golden_hidden_terminal_chain() {
+    let cfg = trim(
+        ScenarioConfig::paper_stationary(10.0)
+            .with_packets(3)
+            .with_positions(vec![
+                Pos::new(0.0, 0.0),
+                Pos::new(70.0, 0.0),
+                Pos::new(140.0, 0.0),
+            ]),
+        "golden-hidden-terminal",
+    );
+    let trace = capture(&cfg, Protocol::Rmac, 11, &FaultPlan::none());
+    assert_golden("hidden_terminal.jsonl", &trace);
+}
+
+/// An RBT jammer parked next to a one-hop multicast: the trace pins both
+/// the jam bursts (fault events) and the MAC's deferrals under them.
+#[test]
+fn golden_tone_jam() {
+    let cfg = trim(
+        ScenarioConfig::paper_stationary(5.0)
+            .with_packets(3)
+            .with_positions(vec![
+                Pos::new(0.0, 0.0),
+                Pos::new(60.0, 0.0),
+                Pos::new(0.0, 60.0),
+            ]),
+        "golden-tone-jam",
+    );
+    let plan = FaultPlan {
+        jammers: vec![JammerSpec {
+            x: 30.0,
+            y: 30.0,
+            target: JamTarget::Rbt,
+            start_ms: 2100,
+            period_ms: 300,
+            burst_ms: 30,
+        }],
+        ..FaultPlan::none()
+    };
+    let trace = capture(&cfg, Protocol::Rmac, 13, &plan);
+    assert!(
+        trace.contains("\"ev\":\"fault\""),
+        "trace lost the jam bursts"
+    );
+    assert_golden("tone_jam.jsonl", &trace);
+}

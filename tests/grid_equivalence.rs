@@ -89,6 +89,7 @@ proptest! {
         .with_nodes(nodes)
         .with_packets(packets);
         cfg.bounds = Bounds::new(150.0, 120.0);
+        let cfg = cfg.with_check();
         let gridded = run_replication(&cfg, Protocol::Rmac, seed);
         let brute = run_replication(&cfg.clone().with_brute_force_phy(), Protocol::Rmac, seed);
         prop_assert_eq!(gridded, brute);

@@ -10,7 +10,9 @@ fn small(rate: f64, nodes: usize, packets: u64) -> ScenarioConfig {
         .with_nodes(nodes)
         .with_packets(packets);
     cfg.bounds = Bounds::new(110.0, 90.0);
-    cfg
+    // Every integration run doubles as a conformance run: the engine
+    // asserts the C1–C5 invariants (rmac-check) over the whole trace.
+    cfg.with_check()
 }
 
 #[test]
@@ -52,7 +54,8 @@ fn multihop_chain_delivers() {
     let positions: Vec<Pos> = (0..6).map(|i| Pos::new(i as f64 * 70.0, 0.0)).collect();
     let cfg = ScenarioConfig::paper_stationary(10.0)
         .with_packets(40)
-        .with_positions(positions);
+        .with_positions(positions)
+        .with_check();
     // Average a few seeds: a single replication of a 5-hop chain sits
     // right at the 0.9 threshold on unlucky backoff draws.
     let delivery: f64 = (0..4)
@@ -75,7 +78,8 @@ fn partitioned_network_loses_exactly_the_far_side() {
     ];
     let cfg = ScenarioConfig::paper_stationary(10.0)
         .with_packets(30)
-        .with_positions(positions);
+        .with_positions(positions)
+        .with_check();
     let r = run_replication(&cfg, Protocol::Rmac, 1);
     // Expected = 30 × 2; only node 1 is reachable → ratio ≈ 0.5.
     assert_eq!(r.expected_receptions, 60);
@@ -128,7 +132,8 @@ fn mrts_lengths_track_fanout() {
     }
     let cfg = ScenarioConfig::paper_stationary(10.0)
         .with_packets(30)
-        .with_positions(positions);
+        .with_positions(positions)
+        .with_check();
     let r = run_replication(&cfg, Protocol::Rmac, 2);
     assert!(
         r.mrts_len_max >= (12 + 6 * 8) as f64,
@@ -153,6 +158,7 @@ fn mobile_full_stack_smoke() {
         .with_nodes(12)
         .with_packets(30);
     cfg.bounds = Bounds::new(150.0, 120.0);
+    let cfg = cfg.with_check();
     let r = run_replication(&cfg, Protocol::Rmac, 6);
     assert!(r.delivery_ratio() > 0.4, "{}", r.delivery_ratio());
     assert!(r.sim_secs > 10.0);

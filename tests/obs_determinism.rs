@@ -25,7 +25,7 @@ fn cfg() -> ScenarioConfig {
         .with_packets(8);
     let scale = (nodes as f64 / 75.0).sqrt();
     cfg.bounds = rmac::mobility::Bounds::new(500.0 * scale, 300.0 * scale);
-    cfg
+    cfg.with_check()
 }
 
 /// One fully instrumented run: returns the report plus the sink's summary

@@ -33,6 +33,8 @@ proptest! {
             .with_nodes(nodes)
             .with_packets(packets);
         cfg.bounds = Bounds::new(120.0, 100.0);
+        // Conformance rides along: the engine asserts C1–C5 on the run.
+        let cfg = cfg.with_check();
         let r = run_replication(&cfg, protocol, seed);
 
         // Conservation: you cannot deliver more than was addressed.
@@ -74,6 +76,7 @@ proptest! {
             .with_nodes(6)
             .with_packets(8);
         cfg.bounds = Bounds::new(100.0, 80.0);
+        let cfg = cfg.with_check();
         let a = run_replication(&cfg, protocol, seed);
         let b = run_replication(&cfg, protocol, seed);
         prop_assert_eq!(a.events, b.events);
