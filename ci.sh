@@ -22,4 +22,7 @@ cargo run -q --release -p rmac-experiments --bin obs_report -- --smoke
 echo "==> check-fuzz (conformance fuzz smoke: 1000 seeded scenarios under C1-C5)"
 cargo run -q --release -p rmac-experiments --bin fuzz_scenarios -- --smoke
 
+echo "==> soak_live --smoke (live loopback soak: 100% delivery under 20% GE loss)"
+cargo run -q --release -p rmac-experiments --bin soak_live -- --smoke
+
 echo "CI green."

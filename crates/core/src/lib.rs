@@ -23,10 +23,12 @@
 
 pub mod api;
 pub mod backoff;
+pub mod clock;
 pub mod config;
 pub mod rmac;
 pub mod testkit;
 
 pub use api::{MacContext, MacCounters, MacService, TimerKind, TxOutcome, TxRequest};
+pub use clock::{Clock, ManualClock, WallClock};
 pub use config::MacConfig;
 pub use rmac::{Rmac, State};

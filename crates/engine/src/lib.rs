@@ -20,6 +20,7 @@
 pub mod config;
 pub mod obs;
 pub mod trace;
+pub mod transport;
 pub mod world;
 
 pub use config::{Protocol, ScenarioConfig};
@@ -31,4 +32,5 @@ pub use trace::{
     filter_tracer, jsonl_file_tracer, JsonlSink, SinkSummary, TraceEvent, TraceLevel, TraceWhat,
     Tracer,
 };
+pub use transport::{EngineMedium, EngineTransport, MediumStats};
 pub use world::{run_replication, run_replication_checked, run_replication_with_faults, Runner};

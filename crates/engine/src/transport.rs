@@ -1,0 +1,325 @@
+//! The sim engine's radio medium adapted behind [`rmac_live::Transport`].
+//!
+//! This is the third transport backend (after the loopback hub and the UDP
+//! sockets): datagrams ride the *PHY channel simulation* itself. Each
+//! datagram is wrapped in a carrier [`FrameKind::DataUnreliable`] frame and
+//! transmitted over [`rmac_phy::Channel`], so it experiences the unit-disk
+//! propagation model, capture-threshold collisions, and half-duplex
+//! conflicts of the full engine — none of the engine's hot path changes,
+//! the adapter only *embeds* the existing channel behind the trait.
+//!
+//! Mapping:
+//!
+//! * `send_data` → a broadcast carrier frame; every node in radio range
+//!   receives the datagram when the frame finishes arriving intact.
+//! * `send_ctrl(to, …)` → a unicast-addressed carrier frame; the medium
+//!   still radiates it to everyone in range, but only `to` gets the
+//!   datagram delivered (everyone else filters on the carrier's `dest`).
+//! * A node whose antenna is busy queues further sends FIFO and transmits
+//!   them back-to-back as each `TxComplete` lands (a NIC transmit queue).
+//!
+//! Fidelity caveat, stated up front: on this backend control datagrams
+//! occupy the *same* radio as data (there is no out-of-band tone channel),
+//! and a carrier frame's latency (PHY overhead + airtime) dwarfs the MAC's
+//! microsecond tone-watch windows. The full RMAC state machine therefore
+//! runs over the loopback hub and UDP backends, which give control traffic
+//! its own low-latency path; this adapter carries transport-level datagram
+//! traffic and exists to prove the engine's medium fits behind the trait.
+//! The engine keeps its native in-simulator tone modelling — pinned
+//! bit-identical by the golden traces — for protocol simulation.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use bytes::Bytes;
+use rmac_live::{DgramChannel, Incoming, Transport, TransportError};
+use rmac_mobility::{Motion, Pos};
+use rmac_phy::{Channel, ChannelConfig, Indication, PhyEvent};
+use rmac_sim::{EventQueue, SimRng, SimTime};
+use rmac_wire::{Dest, Frame, NodeId};
+
+/// Events on the medium's queue: the channel's own PHY events plus a
+/// clock tick that lets `wait_until` advance virtual time through idle
+/// stretches (the [`EventQueue`] clock only moves when an event pops).
+enum MediumEvent {
+    Phy(PhyEvent),
+    Tick,
+}
+
+impl From<PhyEvent> for MediumEvent {
+    fn from(e: PhyEvent) -> Self {
+        MediumEvent::Phy(e)
+    }
+}
+
+/// Datagram accounting for the medium.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MediumStats {
+    /// Carrier frames transmitted (after the NIC queue).
+    pub sent: u64,
+    /// Datagrams delivered to an endpoint's inbox.
+    pub delivered: u64,
+    /// Carrier frames that arrived corrupted (collision, half-duplex,
+    /// truncation) and were dropped — the UDP-checksum analogue.
+    pub corrupted: u64,
+}
+
+/// The shared radio world: one PHY [`Channel`], its event queue, and one
+/// inbox plus NIC transmit queue per endpoint.
+pub struct EngineMedium {
+    channel: Channel,
+    q: EventQueue<MediumEvent>,
+    rng: SimRng,
+    scratch: Vec<Indication>,
+    inboxes: Vec<VecDeque<Incoming>>,
+    txq: Vec<VecDeque<Frame>>,
+    seq: u32,
+    stats: MediumStats,
+}
+
+impl EngineMedium {
+    fn new(cfg: ChannelConfig, positions: &[Pos], seed: u64) -> EngineMedium {
+        let motions = positions.iter().map(|&p| Motion::stationary(p)).collect();
+        let n = positions.len();
+        EngineMedium {
+            channel: Channel::new(cfg, motions),
+            q: EventQueue::new(),
+            rng: SimRng::new(seed),
+            scratch: Vec::new(),
+            inboxes: (0..n).map(|_| VecDeque::new()).collect(),
+            txq: (0..n).map(|_| VecDeque::new()).collect(),
+            seq: 0,
+            stats: MediumStats::default(),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.q.now()
+    }
+
+    /// Datagram accounting so far.
+    pub fn stats(&self) -> &MediumStats {
+        &self.stats
+    }
+
+    /// The underlying channel (frame tallies, observability).
+    pub fn channel(&self) -> &Channel {
+        &self.channel
+    }
+
+    /// Transmit `frame` from its `src` now, or queue it behind the
+    /// in-flight transmission.
+    fn transmit(&mut self, frame: Frame) {
+        let src = frame.src;
+        if self.channel.is_transmitting(src) {
+            self.txq[src.idx()].push_back(frame);
+        } else {
+            self.stats.sent += 1;
+            self.channel.start_tx(&mut self.q, src, frame);
+        }
+    }
+
+    fn route(&mut self, at: SimTime, ind: Indication) {
+        match ind {
+            Indication::FrameRx { node, frame, ok } => {
+                if !ok {
+                    self.stats.corrupted += 1;
+                    return;
+                }
+                let channel = match frame.dest {
+                    Dest::Broadcast => DgramChannel::Data,
+                    _ => {
+                        if !frame.addressed_to(node) {
+                            return; // overheard someone else's control frame
+                        }
+                        DgramChannel::Ctrl
+                    }
+                };
+                self.stats.delivered += 1;
+                self.inboxes[node.idx()].push_back(Incoming {
+                    at,
+                    channel,
+                    bytes: frame.payload.to_vec(),
+                    peer: None,
+                    // The radio channel already models corruption as an
+                    // `ok = false` FrameRx, filtered above.
+                    corrupt: false,
+                });
+            }
+            Indication::TxDone { node, .. } => {
+                if let Some(next) = self.txq[node.idx()].pop_front() {
+                    self.stats.sent += 1;
+                    self.channel.start_tx(&mut self.q, node, next);
+                }
+            }
+            // Carrier and tone edges are the engine's business; the live
+            // node synthesizes its own from datagram arrivals.
+            Indication::CarrierOn { .. }
+            | Indication::CarrierOff { .. }
+            | Indication::ToneChanged { .. } => {}
+        }
+    }
+
+    /// Advance the medium to `deadline`, stopping early once `local`'s
+    /// inbox has traffic.
+    fn advance_until(&mut self, deadline: SimTime, local: NodeId) {
+        if self.q.now() < deadline {
+            self.q.push(deadline, MediumEvent::Tick);
+        }
+        while self.q.peek_time().is_some_and(|t| t <= deadline) {
+            let (at, ev) = self.q.pop().expect("peeked event vanished");
+            if let MediumEvent::Phy(p) = ev {
+                let mut out = std::mem::take(&mut self.scratch);
+                self.channel.handle(at, &mut self.rng, &p, &mut out);
+                for ind in out.drain(..) {
+                    self.route(at, ind);
+                }
+                self.scratch = out;
+            }
+            if !self.inboxes[local.idx()].is_empty() {
+                break;
+            }
+        }
+    }
+}
+
+/// One endpoint of the engine-medium transport.
+pub struct EngineTransport {
+    medium: Rc<RefCell<EngineMedium>>,
+    id: NodeId,
+}
+
+impl EngineTransport {
+    /// Build a mesh of endpoints over a fresh radio medium. Node ids are
+    /// `0..positions.len()`, one per position; all endpoints share the
+    /// medium's virtual clock. Returns the shared medium handle (stats)
+    /// alongside the endpoints.
+    pub fn mesh(
+        cfg: ChannelConfig,
+        positions: &[Pos],
+        seed: u64,
+    ) -> (Rc<RefCell<EngineMedium>>, Vec<EngineTransport>) {
+        let medium = Rc::new(RefCell::new(EngineMedium::new(cfg, positions, seed)));
+        let endpoints = (0..positions.len())
+            .map(|i| EngineTransport {
+                medium: Rc::clone(&medium),
+                id: NodeId(u16::try_from(i).expect("too many nodes")),
+            })
+            .collect();
+        (medium, endpoints)
+    }
+}
+
+impl Transport for EngineTransport {
+    fn local(&self) -> NodeId {
+        self.id
+    }
+
+    fn now(&self) -> SimTime {
+        self.medium.borrow().now()
+    }
+
+    fn send_data(&mut self, bytes: &[u8]) -> Result<(), TransportError> {
+        let mut m = self.medium.borrow_mut();
+        let seq = m.seq;
+        m.seq += 1;
+        let frame =
+            Frame::data_unreliable(self.id, Dest::Broadcast, Bytes::copy_from_slice(bytes), seq);
+        m.transmit(frame);
+        Ok(())
+    }
+
+    fn send_ctrl(&mut self, to: NodeId, bytes: &[u8]) -> Result<(), TransportError> {
+        let mut m = self.medium.borrow_mut();
+        let seq = m.seq;
+        m.seq += 1;
+        let frame =
+            Frame::data_unreliable(self.id, Dest::Node(to), Bytes::copy_from_slice(bytes), seq);
+        m.transmit(frame);
+        Ok(())
+    }
+
+    fn poll(&mut self) -> Result<Option<Incoming>, TransportError> {
+        Ok(self.medium.borrow_mut().inboxes[self.id.idx()].pop_front())
+    }
+
+    fn wait_until(&mut self, deadline: SimTime) -> Result<(), TransportError> {
+        self.medium.borrow_mut().advance_until(deadline, self.id);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmac_wire::datagram::{decode_datagram, encode_datagram, Datagram, DgramBody};
+
+    fn dgram(src: u16, counter: u32, body: DgramBody) -> Vec<u8> {
+        encode_datagram(&Datagram {
+            src: NodeId(src),
+            counter,
+            body,
+        })
+        .to_vec()
+    }
+
+    /// Three nodes in range: a data datagram radiates to both others, a
+    /// control datagram only reaches its addressee.
+    #[test]
+    fn data_radiates_ctrl_is_filtered() {
+        let positions = [Pos::new(0.0, 0.0), Pos::new(10.0, 0.0), Pos::new(0.0, 10.0)];
+        let (medium, mut eps) = EngineTransport::mesh(ChannelConfig::default(), &positions, 7);
+        let hello = dgram(0, 0, DgramBody::Hello { session: 1 });
+        eps[0].send_data(&hello).unwrap();
+        let tone = dgram(0, 1, DgramBody::Bye);
+        eps[0].send_ctrl(NodeId(1), &tone).unwrap();
+
+        let deadline = SimTime::from_millis(5);
+        for ep in &mut eps {
+            ep.wait_until(deadline).unwrap();
+        }
+        // Node 1 hears both; the data datagram lands first (sent first,
+        // NIC queue preserves order).
+        let a = eps[1].poll().unwrap().expect("data datagram");
+        assert_eq!(a.channel, DgramChannel::Data);
+        let d = decode_datagram(&a.bytes).unwrap();
+        assert!(matches!(d.body, DgramBody::Hello { session: 1 }));
+        let b = eps[1].poll().unwrap().expect("ctrl datagram");
+        assert_eq!(b.channel, DgramChannel::Ctrl);
+        assert!(a.at < b.at, "NIC queue serializes the two carriers");
+        // Node 2 hears only the broadcast; the unicast carrier radiates
+        // past it but is filtered.
+        let c = eps[2].poll().unwrap().expect("broadcast reaches node 2");
+        assert_eq!(c.channel, DgramChannel::Data);
+        assert!(eps[2].poll().unwrap().is_none());
+        assert_eq!(medium.borrow().stats().delivered, 3);
+        assert_eq!(medium.borrow().stats().sent, 2);
+    }
+
+    /// Out-of-range nodes hear nothing: the unit-disk medium is real.
+    #[test]
+    fn range_limits_delivery() {
+        let positions = [Pos::new(0.0, 0.0), Pos::new(500.0, 0.0)];
+        let (_, mut eps) = EngineTransport::mesh(ChannelConfig::default(), &positions, 7);
+        eps[0].send_data(&dgram(0, 0, DgramBody::Bye)).unwrap();
+        for ep in &mut eps {
+            ep.wait_until(SimTime::from_millis(5)).unwrap();
+        }
+        assert!(eps[1].poll().unwrap().is_none());
+    }
+
+    /// The virtual clock advances through idle stretches and is shared.
+    #[test]
+    fn wait_until_advances_idle_time() {
+        let positions = [Pos::new(0.0, 0.0), Pos::new(10.0, 0.0)];
+        let (_, mut eps) = EngineTransport::mesh(ChannelConfig::default(), &positions, 7);
+        eps[0].wait_until(SimTime::from_micros(250)).unwrap();
+        assert_eq!(eps[0].now(), SimTime::from_micros(250));
+        assert_eq!(eps[1].now(), SimTime::from_micros(250));
+        // Never backwards.
+        eps[1].wait_until(SimTime::from_micros(100)).unwrap();
+        assert_eq!(eps[1].now(), SimTime::from_micros(250));
+    }
+}

@@ -11,9 +11,8 @@
 //!
 //! Scaled by `RMAC_SEEDS` (default 5) and `RMAC_PACKETS` (default 200).
 
-use rayon::prelude::*;
 use rmac_engine::{run_replication_with_faults, Protocol, ScenarioConfig};
-use rmac_experiments::{figures, ScenarioKind};
+use rmac_experiments::{figures, try_tasks, ScenarioKind};
 use rmac_faults::{FaultPlan, JamTarget, JammerSpec};
 use rmac_metrics::{RunReport, Table};
 
@@ -49,10 +48,23 @@ fn main() {
         }
     }
     eprintln!("running {} replications…", tasks.len());
-    let reports: Vec<RunReport> = tasks
-        .par_iter()
-        .map(|&(pi, p, s)| run_replication_with_faults(&cfg, p, s, &plans[pi].1))
-        .collect();
+    let reports: Vec<RunReport> = match try_tasks(
+        &tasks,
+        |&(pi, p, s)| run_replication_with_faults(&cfg, p, s, &plans[pi].1),
+        |&(pi, p, s)| {
+            format!(
+                "replication panicked ({} plan '{}', seed {s})",
+                p.label(),
+                plans[pi].0
+            )
+        },
+    ) {
+        Ok(rs) => rs,
+        Err(e) => {
+            eprintln!("ablation_tone_jam: {e}");
+            std::process::exit(1);
+        }
+    };
 
     let mut table = Table::new(
         format!("X9 — RBT value under tone jamming (stationary, {rate} pkt/s)"),

@@ -14,9 +14,8 @@
 //!
 //! Scaled by `RMAC_SEEDS` (default 5) and `RMAC_PACKETS` (default 200).
 
-use rayon::prelude::*;
 use rmac_engine::{run_replication_with_faults, Protocol, ScenarioConfig};
-use rmac_experiments::{figures, ScenarioKind};
+use rmac_experiments::{figures, try_tasks, ScenarioKind};
 use rmac_faults::{BurstySpec, ChurnKind, ChurnSpec, FaultPlan, JamTarget, JammerSpec, SkewSpec};
 use rmac_metrics::{RunReport, Table};
 
@@ -113,10 +112,23 @@ fn main() {
         }
     }
     eprintln!("running {} replications…", tasks.len());
-    let reports: Vec<RunReport> = tasks
-        .par_iter()
-        .map(|&(ci, p, s)| run_replication_with_faults(&cfg, p, s, &classes[ci].1))
-        .collect();
+    let reports: Vec<RunReport> = match try_tasks(
+        &tasks,
+        |&(ci, p, s)| run_replication_with_faults(&cfg, p, s, &classes[ci].1),
+        |&(ci, p, s)| {
+            format!(
+                "replication panicked ({} fault '{}', seed {s})",
+                p.label(),
+                classes[ci].0
+            )
+        },
+    ) {
+        Ok(rs) => rs,
+        Err(e) => {
+            eprintln!("ext_faults: {e}");
+            std::process::exit(1);
+        }
+    };
 
     let mut table = Table::new(
         format!("X8 — degradation per fault class (stationary, {rate} pkt/s)"),

@@ -1,0 +1,111 @@
+//! `rmc_test`-style soak of the live stack: N publishers × M subscribers
+//! of closed-loop reliable multicast over the loopback transport, with the
+//! 20% Gilbert–Elliott loss plan on the data channel, emitted as
+//! `results/BENCH_live.json` (goodput, latency quantiles, retransmission
+//! and resend counts).
+//!
+//! The acceptance bar is 100% application-layer delivery: every offered
+//! packet reaches every subscriber exactly once (MAC retries plus
+//! app-level resends recover whatever the loss plan erases), or the run
+//! exits nonzero.
+//!
+//! Scaled by `RMAC_LIVE_PACKETS` (total offered packets across all
+//! publishers, default 1 000 000), `RMAC_LIVE_PUBS` (2), `RMAC_LIVE_SUBS`
+//! (3), `RMAC_LIVE_PAYLOAD` (500 bytes, the paper's packet size) and
+//! `RMAC_LIVE_SEED` (1). `--smoke` ignores the environment and runs a
+//! seconds-scale configuration for CI.
+
+use std::time::Instant;
+
+use rmac_live::soak::{ge20, run_loopback_soak, SoakConfig};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn config(smoke: bool) -> SoakConfig {
+    let mut cfg = SoakConfig::default();
+    cfg.hub.loss = Some(ge20());
+    if smoke {
+        cfg.publishers = 2;
+        cfg.subscribers = 2;
+        cfg.packets_per_publisher = 2_000;
+        cfg.payload_len = 200;
+        cfg.seed = 1;
+        return cfg;
+    }
+    cfg.publishers = env_u64("RMAC_LIVE_PUBS", 2) as usize;
+    cfg.subscribers = env_u64("RMAC_LIVE_SUBS", 3) as usize;
+    let total = env_u64("RMAC_LIVE_PACKETS", 1_000_000);
+    cfg.packets_per_publisher = total / cfg.publishers as u64;
+    cfg.payload_len = env_u64("RMAC_LIVE_PAYLOAD", 500) as usize;
+    cfg.seed = env_u64("RMAC_LIVE_SEED", 1);
+    cfg
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let cfg = config(smoke);
+    let offered = cfg.packets_per_publisher * cfg.publishers as u64;
+    eprintln!(
+        "soak_live: {} publishers × {} subscribers, {} packets of {} B, 20% GE loss{}",
+        cfg.publishers,
+        cfg.subscribers,
+        offered,
+        cfg.payload_len,
+        if smoke { " (smoke)" } else { "" },
+    );
+
+    let start = Instant::now();
+    let report = run_loopback_soak(&cfg);
+    let wall_s = start.elapsed().as_secs_f64();
+
+    eprintln!(
+        "  {} deliveries ({} duplicates suppressed), {} MAC retransmissions, \
+         {} app resends, {} hub fades",
+        report.deliveries,
+        report.duplicates,
+        report.mac_retransmissions,
+        report.app_resends,
+        report.hub.data_corrupted,
+    );
+    eprintln!(
+        "  virtual {} ({} steps), goodput {:.2} Mb/s, latency p50 {} µs / p99 {} µs, \
+         wall {:.2} s ({:.0} packets/s)",
+        report.virtual_time,
+        report.steps,
+        report.goodput_mbps,
+        report.latency_p50_ns / 1_000,
+        report.latency_p99_ns / 1_000,
+        wall_s,
+        f64::from(u32::try_from(offered).unwrap_or(u32::MAX)) / wall_s,
+    );
+
+    let json = format!(
+        "{{\n  \"wall_s\": {:.3},\n  \"offered_packets_per_wall_s\": {:.0},\n  \"report\": {}\n}}\n",
+        wall_s,
+        offered as f64 / wall_s,
+        report.to_json(),
+    );
+    std::fs::create_dir_all("results").expect("create results/");
+    // The smoke run must not clobber the tracked full-scale benchmark.
+    let path = if smoke {
+        "results/BENCH_live_smoke.json"
+    } else {
+        "results/BENCH_live.json"
+    };
+    std::fs::write(path, json).expect("write soak report");
+    eprintln!("  wrote {path}");
+
+    if !report.complete() {
+        eprintln!(
+            "soak_live: INCOMPLETE — {} of {} expected deliveries",
+            report.deliveries, report.expected_deliveries
+        );
+        std::process::exit(1);
+    }
+    eprintln!("soak_live: 100% application-layer delivery.");
+}

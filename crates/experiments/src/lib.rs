@@ -23,4 +23,4 @@ pub mod fuzz;
 pub mod sweep;
 
 pub use fuzz::{materialize, run_case, shrink, CaseOutcome};
-pub use sweep::{run_sweep, try_replications, ScenarioKind, SweepResults, SweepSpec};
+pub use sweep::{run_sweep, try_replications, try_tasks, ScenarioKind, SweepResults, SweepSpec};

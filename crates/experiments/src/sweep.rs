@@ -153,41 +153,62 @@ impl SweepResults {
     }
 }
 
-/// Run one replication per seed in parallel, turning any panic inside a
-/// worker into an `Err` naming the protocol and seed.
+/// Best-effort rendering of a panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
+/// Run an arbitrary task list in parallel, turning any panic inside a
+/// worker into an `Err` prefixed by `label(task)`.
 ///
 /// The vendored rayon (like upstream) propagates a worker panic at the
 /// scope join, which tears the whole process down mid-table with an
 /// unhelpful backtrace — and, worse, a binary that already printed
 /// partial results can look like it succeeded. Catching the unwind
-/// *inside* the closure keeps every other replication running and lets
-/// the caller report the failure and exit nonzero deliberately.
+/// *inside* the closure keeps every other task running and lets the
+/// caller report the failure and exit nonzero deliberately.
+/// [`try_replications`] is the common (protocol, seed) specialization;
+/// binaries with richer task tuples (fault plans, jammer grids) pass
+/// their own `label`.
+pub fn try_tasks<T, R, F, L>(tasks: &[T], run: F, label: L) -> Result<Vec<R>, String>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+    L: Fn(&T) -> String + Sync,
+{
+    let outcomes: Vec<Result<R, String>> = tasks
+        .par_iter()
+        .map(|t| {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(t)))
+                .map_err(|payload| format!("{}: {}", label(t), panic_message(payload)))
+        })
+        .collect();
+    outcomes.into_iter().collect()
+}
+
+/// Run one replication per seed in parallel, turning any panic inside a
+/// worker into an `Err` naming the protocol and seed (see [`try_tasks`]).
 pub fn try_replications(
     cfg: &ScenarioConfig,
     protocol: Protocol,
     seeds: &[u64],
 ) -> Result<Vec<RunReport>, String> {
-    let outcomes: Vec<Result<RunReport, String>> = seeds
-        .par_iter()
-        .map(|&seed| {
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                run_replication(cfg, protocol, seed)
-            }))
-            .map_err(|payload| {
-                let msg = payload
-                    .downcast_ref::<&str>()
-                    .map(|s| (*s).to_string())
-                    .or_else(|| payload.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "non-string panic payload".to_string());
-                format!(
-                    "replication panicked ({} '{}', seed {seed}): {msg}",
-                    protocol.label(),
-                    cfg.name
-                )
-            })
-        })
-        .collect();
-    outcomes.into_iter().collect()
+    try_tasks(
+        seeds,
+        |&seed| run_replication(cfg, protocol, seed),
+        |&seed| {
+            format!(
+                "replication panicked ({} '{}', seed {seed})",
+                protocol.label(),
+                cfg.name
+            )
+        },
+    )
 }
 
 /// Execute a sweep: replications run in parallel (rayon), grid points are

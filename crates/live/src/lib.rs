@@ -1,0 +1,70 @@
+//! # rmac-live — RMAC semantics over real datagrams
+//!
+//! Everything below the MAC in this workspace was, until this crate, the
+//! discrete-event simulator. `rmac-live` runs the *unmodified* RMAC state
+//! machine ([`rmac_core::Rmac`]) over a second, independent I/O path:
+//! datagrams. The PDXostc reliable_multicast protocol is the architectural
+//! exemplar — UDP multicast for data, a per-subscriber control channel for
+//! acknowledgment traffic — and the busy tones become short out-of-band
+//! control datagrams ([`rmac_wire::datagram`]).
+//!
+//! The pieces:
+//!
+//! * [`transport`] — the [`Transport`] trait: send/recv of wire-encoded
+//!   frames (data channel) and short control datagrams (tone stand-ins,
+//!   session handshake), plus a MAC-time clock. Three implementations
+//!   live in the workspace: the deterministic in-process [`hub`] loopback
+//!   shim (virtual time, seeded Gilbert–Elliott loss via `rmac-faults`),
+//!   the [`udp`] backend (`std::net` multicast + unicast control sockets,
+//!   std + threads only), and `rmac_engine::transport::EngineTransport`,
+//!   which drives the same datagrams through the simulated radio PHY.
+//! * [`wheel`] — a hierarchical timing wheel firing the core's timeout
+//!   events off whatever monotonic clock the transport provides; O(1)
+//!   next-deadline via per-level occupancy bitmaps.
+//! * [`node`] — [`LiveNode`]: the sans-I/O adapter that feeds datagram
+//!   arrivals and wheel firings to the MAC as PHY indications, and turns
+//!   the MAC's context calls (`start_tx`, `start_tone`, …) back into
+//!   outbound datagrams. One `LiveNode` per endpoint; drivers pump it.
+//! * [`hub`] — [`LoopbackHub`]: N in-process endpoints, one virtual
+//!   clock, per-link Gilbert–Elliott erasures on the data channel. The
+//!   control channel is lossless by design, mirroring RMC's reliable
+//!   (TCP) control connection.
+//! * [`runner`] — [`LoopbackRunner`]: drives N [`LiveNode`]s over the hub
+//!   deterministically (same seed + same loss plan ⇒ identical behavior).
+//! * [`udp`] — [`UdpTransport`]: real sockets, reader threads, and a
+//!   scaled [`WallClock`](rmac_core::WallClock) so host jitter stays far
+//!   inside the paper's ±2 µs tone-window margins.
+//! * [`soak`] — the `rmc_test`-style soak harness: N publishers × M
+//!   subscribers, closed-loop reliable multicast with application-level
+//!   resends, goodput/latency/retransmission stats.
+//!
+//! ## Timing model
+//!
+//! RMAC's reliability hinges on λ = 15 µs tone detection inside 17 µs
+//! windows — ±2 µs of slack. The adapter therefore treats a datagram's
+//! arrival as the *first bit* of the corresponding frame (CarrierOn),
+//! synthesizes FrameRx/CarrierOff one airtime later, and the sender its
+//! own TxDone one airtime after sending: both ends reconstruct the
+//! paper's timeline from the same constants, so their windows stay
+//! aligned to within the transport's one-way latency. The loopback hub
+//! keeps that latency at τ ≤ 1 µs of *virtual* time; the UDP backend runs
+//! MAC time `scale`× slower than wall time so localhost jitter shrinks
+//! below the margin in MAC units.
+
+pub mod driver;
+pub mod hub;
+pub mod node;
+pub mod runner;
+pub mod soak;
+pub mod transport;
+pub mod udp;
+pub mod wheel;
+
+pub use driver::Driver;
+pub use hub::{HubConfig, HubStats, LoopbackHub, SimEndpoint};
+pub use node::{LiveConfig, LiveNode, LiveStats};
+pub use runner::LoopbackRunner;
+pub use soak::{run_loopback_soak, SoakConfig, SoakReport};
+pub use transport::{DgramChannel, Incoming, Transport, TransportError};
+pub use udp::{UdpConfig, UdpTransport};
+pub use wheel::TimerWheel;

@@ -1,0 +1,922 @@
+//! [`LiveNode`]: the sans-I/O adapter between the RMAC core and a
+//! datagram [`Transport`](crate::Transport).
+//!
+//! The MAC ([`rmac_core::Rmac`]) is a passive state machine that acts on
+//! the world through [`MacContext`]. In the simulator that context wraps
+//! the radio channel; here it wraps two datagram channels:
+//!
+//! * `start_tx` encodes the frame ([`rmac_wire::codec`]) and emits it on
+//!   the data channel *at first-bit time* — the datagram's arrival at a
+//!   peer is the first bit of the frame, and both ends reconstruct the
+//!   rest of the timeline (TxDone, FrameRx, CarrierOff one airtime later)
+//!   from the shared length→airtime arithmetic, keeping the paper's
+//!   tone-window alignment without a shared clock. An `abort_tx` cannot
+//!   truncate a datagram the way a radio truncates a signal, so it is made
+//!   explicit instead: an `Abort{counter}` marker fans out on the control
+//!   channel and receivers whose reception is still pending treat the
+//!   named frame as corrupt — the truncated-frame observation RMAC's
+//!   recovery paths expect;
+//! * `start_tone`/`stop_tone` become ToneOn/ToneOff control datagrams
+//!   fanned out to *every* configured neighbor, because a radio tone is
+//!   heard by everyone in range and RMAC leans on exactly that (a
+//!   third-party sender must sense a receiver's RBT and abort). The
+//!   control datagrams ride out-of-band like RMC's TCP control channel
+//!   rather than in-band like a real tone radio; the MAC logic is
+//!   unchanged either way.
+//!
+//! The node never performs I/O: callers feed it [`Incoming`] datagrams
+//! and clock advances, and drain [`OutDgram`]s, deliveries and transmit
+//! outcomes. That makes the same adapter drivable by the virtual-time
+//! loopback hub, the UDP backend, and unit tests alike.
+
+use std::collections::{BTreeSet, VecDeque};
+
+use bytes::Bytes;
+use rmac_core::{
+    MacConfig, MacContext, MacCounters, MacService, Rmac, State, TimerKind, TxOutcome, TxRequest,
+};
+use rmac_phy::{Indication, Tone, ToneLog};
+use rmac_sim::{SimRng, SimTime};
+use rmac_wire::datagram::{DGRAM_TONE_ABT, DGRAM_TONE_RBT};
+use rmac_wire::{
+    codec, decode_datagram, encode_datagram, Datagram, Dest, DgramBody, Frame, NodeId,
+};
+
+use crate::transport::{DgramChannel, Incoming};
+use crate::wheel::TimerWheel;
+
+/// Configuration for one live endpoint.
+#[derive(Clone, Debug)]
+pub struct LiveConfig {
+    /// MAC parameters (contention window, retry limit, …).
+    pub mac: MacConfig,
+    /// The one-hop neighbor set: who reliable *broadcasts* expand to and
+    /// who our tone-edge datagrams fan out to (a radio tone is heard by
+    /// everyone in range, so its stand-in must reach every neighbor).
+    /// Live deployments have no simulated geometry, so the set is
+    /// configured — RMC-style group membership — rather than derived.
+    pub neighbors: Vec<NodeId>,
+    /// Seed for this node's MAC-level RNG (backoff draws).
+    pub seed: u64,
+}
+
+impl Default for LiveConfig {
+    fn default() -> Self {
+        LiveConfig {
+            mac: MacConfig::default(),
+            neighbors: Vec::new(),
+            seed: 1,
+        }
+    }
+}
+
+/// Datagram-level statistics for one endpoint.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LiveStats {
+    /// Data-channel datagrams sent (frames).
+    pub data_tx: u64,
+    /// Control-channel datagrams sent (tone edges).
+    pub ctrl_tx: u64,
+    /// Data-channel datagrams received (excluding our own echoes).
+    pub data_rx: u64,
+    /// Control datagrams received.
+    pub ctrl_rx: u64,
+    /// Our own multicast echoes discarded (UDP loopback).
+    pub self_drops: u64,
+    /// Datagrams or frames that failed to decode (treated as noise).
+    pub decode_errors: u64,
+}
+
+/// An outbound datagram produced by the node, for the driver to hand to
+/// its [`Transport`](crate::Transport).
+#[derive(Clone, Debug)]
+pub enum OutDgram {
+    /// Broadcast on the data channel.
+    Data(Vec<u8>),
+    /// Unicast on the control channel.
+    Ctrl(NodeId, Vec<u8>),
+}
+
+/// What the timer wheel fires.
+enum Fire {
+    /// A MAC timer (generation-tracked; the MAC ignores stale ones).
+    Mac(TimerKind, u64),
+    /// Our own transmission's last bit leaves the antenna. Stale epochs
+    /// (the transmission was aborted meanwhile) are ignored.
+    TxDone { epoch: u64 },
+    /// The last bit of a peer's frame arrives. `key` names the carrying
+    /// datagram `(src, counter)` so a later `Abort` marker can poison the
+    /// reception before it completes; `serial` is the local reception id
+    /// the collision bookkeeping uses.
+    RxEnd {
+        frame: Frame,
+        ok: bool,
+        key: Option<(NodeId, u32)>,
+        serial: u64,
+    },
+}
+
+/// An open tone watch (the live twin of the PHY's `ActiveWatch`, which is
+/// private to `rmac-phy`).
+struct Watch {
+    start: SimTime,
+    initial_on: bool,
+    edges: Vec<(SimTime, bool)>,
+}
+
+/// The [`MacContext`] the live node hands its MAC. Kept as a separate
+/// struct so `mac.on_indication(&mut ctx, …)` borrows cleanly.
+struct LiveCtx {
+    id: NodeId,
+    now: SimTime,
+    rng: SimRng,
+    counters: MacCounters,
+    neighbors: Vec<NodeId>,
+    wheel: TimerWheel<Fire>,
+    /// Indications synthesized during a MAC callback (e.g. the aborted
+    /// TxDone that `abort_tx` implies). The MAC must never be re-entered
+    /// from its own context calls, so these queue up and the node drains
+    /// them after each callback returns.
+    pending: VecDeque<Indication>,
+    outbox: Vec<(SimTime, OutDgram)>,
+    dgram_counter: u32,
+    /// The frame currently leaving our antenna, if any.
+    cur_tx: Option<Frame>,
+    /// The datagram counter the in-flight frame was sent under, so an
+    /// abort can name it in the retraction marker.
+    cur_tx_ctr: Option<u32>,
+    /// Bumped on abort so the scheduled [`Fire::TxDone`] goes stale.
+    tx_epoch: u64,
+    /// In-flight foreign frames (carrier sense is `> 0`).
+    rx_carrier: u32,
+    /// Next reception serial for the collision bookkeeping.
+    rx_serial: u64,
+    /// Serials of receptions currently in flight at this node.
+    live_rx: Vec<u64>,
+    /// In-flight receptions already doomed by a collision or a
+    /// half-duplex conflict; consulted (and drained) when their
+    /// [`Fire::RxEnd`] fires.
+    collided_rx: Vec<u64>,
+    /// Peers currently asserting each tone towards us.
+    tone_in: [BTreeSet<NodeId>; 2],
+    /// Whether each of *our* tones is currently raised.
+    tone_out: [bool; 2],
+    watch: [Option<Watch>; 2],
+    delivered: Vec<(SimTime, Frame)>,
+    outcomes: Vec<(u64, TxOutcome)>,
+    stats: LiveStats,
+    trace: bool,
+}
+
+impl LiveCtx {
+    fn push_dgram(&mut self, body: DgramBody, to: Option<NodeId>) {
+        let d = Datagram {
+            src: self.id,
+            counter: self.dgram_counter,
+            body,
+        };
+        self.dgram_counter = self.dgram_counter.wrapping_add(1);
+        let bytes = encode_datagram(&d);
+        match to {
+            None => {
+                self.stats.data_tx += 1;
+                self.outbox.push((self.now, OutDgram::Data(bytes)));
+            }
+            Some(peer) => {
+                self.stats.ctrl_tx += 1;
+                self.outbox.push((self.now, OutDgram::Ctrl(peer, bytes)));
+            }
+        }
+    }
+
+    /// Tone edges fan out to *every* neighbor, not just the session peer:
+    /// on the radio a tone is heard by everyone in range, and RMAC leans
+    /// on that — a third-party sender must sense a receiver's RBT and
+    /// abort, or its clean MRTS lands mid-`WF_RDATA` after the carrier
+    /// cancelled `T_wf_rdata` and the receiver waits forever for data that
+    /// was addressed to someone else's session.
+    fn tone_fanout(&mut self, tone: Tone, on: bool) {
+        let code = match tone {
+            Tone::Rbt => DGRAM_TONE_RBT,
+            Tone::Abt => DGRAM_TONE_ABT,
+        };
+        for i in 0..self.neighbors.len() {
+            let peer = self.neighbors[i];
+            self.push_dgram(DgramBody::Tone { tone: code, on }, Some(peer));
+        }
+    }
+
+    /// Aggregate tone presence: a peer raised or lowered `tone` towards us.
+    fn tone_edge(&mut self, peer: NodeId, tone: Tone, on: bool) {
+        if self.trace {
+            eprintln!(
+                "[{}] {:?} tone_edge {tone:?} from {peer:?} on={on} set={:?}",
+                self.now.nanos(),
+                self.id,
+                self.tone_in[tone.idx()]
+            );
+        }
+        let set = &mut self.tone_in[tone.idx()];
+        let was = !set.is_empty();
+        if on {
+            set.insert(peer);
+        } else {
+            set.remove(&peer);
+        }
+        let is = !set.is_empty();
+        if was != is {
+            if let Some(w) = self.watch[tone.idx()].as_mut() {
+                w.edges.push((self.now, is));
+            }
+            self.pending.push_back(Indication::ToneChanged {
+                node: self.id,
+                tone,
+                present: is,
+            });
+        }
+    }
+}
+
+impl MacContext for LiveCtx {
+    fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn schedule(&mut self, delay: SimTime, kind: TimerKind, gen: u64) {
+        self.wheel.schedule(self.now + delay, Fire::Mac(kind, gen));
+    }
+
+    fn start_tx(&mut self, frame: Frame) {
+        debug_assert!(self.cur_tx.is_none(), "start_tx while transmitting");
+        if self.trace {
+            eprintln!(
+                "[{}] {:?} start_tx {:?} dest={:?} airtime={}",
+                self.now.nanos(),
+                self.id,
+                frame.kind,
+                frame.dest,
+                frame.airtime().nanos()
+            );
+        }
+        // Half-duplex: our own signal swamps whatever we were receiving,
+        // exactly as the simulator's channel dooms a reception at a node
+        // that starts transmitting mid-frame.
+        for &s in &self.live_rx {
+            if !self.collided_rx.contains(&s) {
+                self.collided_rx.push(s);
+            }
+        }
+        let bytes = codec::encode(&frame);
+        let ctr = self.dgram_counter;
+        self.push_dgram(DgramBody::Frame(bytes), None);
+        let epoch = self.tx_epoch;
+        self.wheel
+            .schedule(self.now + frame.airtime(), Fire::TxDone { epoch });
+        self.cur_tx = Some(frame);
+        self.cur_tx_ctr = Some(ctr);
+    }
+
+    fn abort_tx(&mut self) {
+        // The datagram already left (it was emitted at first-bit time and
+        // UDP delivery is atomic), so unlike the radio channel an abort
+        // cannot truncate the copy in flight. Instead the abort is made
+        // explicit: an `Abort{counter}` marker fans out on the lossless
+        // control channel, and receivers whose reception of that datagram
+        // is still pending (the last bit has not "arrived" yet) flip it to
+        // corrupt — the same truncated-frame observation the radio gives
+        // them, which RMAC's recovery paths are built on. The marker wins
+        // the race by construction: it leaves before the frame's airtime
+        // ends, and the control channel is no slower than the data
+        // channel. What the local MAC observes is identical to the
+        // simulator: an immediate TxDone with `aborted` set.
+        if let Some(frame) = self.cur_tx.take() {
+            self.tx_epoch += 1;
+            if let Some(ctr) = self.cur_tx_ctr.take() {
+                for i in 0..self.neighbors.len() {
+                    let peer = self.neighbors[i];
+                    self.push_dgram(DgramBody::Abort { counter: ctr }, Some(peer));
+                }
+            }
+            self.pending.push_back(Indication::TxDone {
+                node: self.id,
+                frame,
+                aborted: true,
+            });
+        }
+    }
+
+    fn start_tone(&mut self, tone: Tone) {
+        if self.tone_out[tone.idx()] {
+            return; // already raised — same no-op as the PHY
+        }
+        self.tone_out[tone.idx()] = true;
+        self.tone_fanout(tone, true);
+    }
+
+    fn stop_tone(&mut self, tone: Tone) {
+        if self.tone_out[tone.idx()] {
+            self.tone_out[tone.idx()] = false;
+            self.tone_fanout(tone, false);
+        }
+    }
+
+    fn data_busy(&self) -> bool {
+        self.rx_carrier > 0 || self.cur_tx.is_some()
+    }
+
+    fn tone_present(&self, tone: Tone) -> bool {
+        !self.tone_in[tone.idx()].is_empty()
+    }
+
+    fn open_tone_watch(&mut self, tone: Tone) {
+        if self.trace {
+            eprintln!(
+                "[{}] {:?} open_watch {tone:?} initial={}",
+                self.now.nanos(),
+                self.id,
+                self.tone_present(tone)
+            );
+        }
+        self.watch[tone.idx()] = Some(Watch {
+            start: self.now,
+            initial_on: self.tone_present(tone),
+            edges: Vec::new(),
+        });
+    }
+
+    fn close_tone_watch(&mut self, tone: Tone) -> ToneLog {
+        if self.trace {
+            let w = self.watch[tone.idx()].as_ref();
+            eprintln!(
+                "[{}] {:?} close_watch {tone:?} {:?}",
+                self.now.nanos(),
+                self.id,
+                w.map(|w| (w.start.nanos(), w.initial_on, &w.edges))
+            );
+        }
+        let w = self.watch[tone.idx()].take();
+        debug_assert!(w.is_some(), "close without open watch");
+        let w = w.unwrap_or(Watch {
+            start: self.now,
+            initial_on: false,
+            edges: Vec::new(),
+        });
+        ToneLog {
+            start: w.start,
+            end: self.now,
+            initial_on: w.initial_on,
+            edges: w.edges,
+        }
+    }
+
+    fn deliver(&mut self, frame: Frame) {
+        self.delivered.push((self.now, frame));
+    }
+
+    fn notify(&mut self, token: u64, outcome: TxOutcome) {
+        self.outcomes.push((token, outcome));
+    }
+
+    fn neighbors(&mut self) -> Vec<NodeId> {
+        self.neighbors.clone()
+    }
+
+    fn rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    fn counters(&mut self) -> &mut MacCounters {
+        &mut self.counters
+    }
+}
+
+/// One RMAC endpoint over a datagram transport. See the module docs.
+pub struct LiveNode {
+    mac: Rmac,
+    ctx: LiveCtx,
+    /// Non-tone control payloads (Hello/Announce/Bye), for the driver.
+    ctrl_inbox: Vec<(SimTime, NodeId, DgramBody)>,
+    /// `(src, counter)` of frames retracted by an `Abort` marker whose
+    /// reception has not completed yet. Entries are removed when the
+    /// matching `RxEnd` fires; stale ones (the frame datagram itself was
+    /// lost) are pruned as soon as a newer frame from the same sender
+    /// arrives, keeping the set bounded over arbitrarily long runs.
+    aborted_rx: Vec<(NodeId, u32)>,
+    /// Scratch buffer for wheel firings.
+    fired: Vec<(SimTime, Fire)>,
+}
+
+impl LiveNode {
+    /// Build an endpoint with identity `id`.
+    pub fn new(id: NodeId, cfg: LiveConfig) -> LiveNode {
+        LiveNode {
+            mac: Rmac::new(id, cfg.mac),
+            ctx: LiveCtx {
+                id,
+                now: SimTime::ZERO,
+                rng: SimRng::new(cfg.seed),
+                counters: MacCounters::default(),
+                neighbors: cfg.neighbors,
+                wheel: TimerWheel::default(),
+                pending: VecDeque::new(),
+                outbox: Vec::new(),
+                dgram_counter: 0,
+                cur_tx: None,
+                cur_tx_ctr: None,
+                tx_epoch: 0,
+                rx_carrier: 0,
+                rx_serial: 0,
+                live_rx: Vec::new(),
+                collided_rx: Vec::new(),
+                tone_in: [BTreeSet::new(), BTreeSet::new()],
+                tone_out: [false, false],
+                watch: [None, None],
+                delivered: Vec::new(),
+                outcomes: Vec::new(),
+                stats: LiveStats::default(),
+                trace: false,
+            },
+            ctrl_inbox: Vec::new(),
+            aborted_rx: Vec::new(),
+            fired: Vec::new(),
+        }
+    }
+
+    /// This endpoint's node id.
+    pub fn id(&self) -> NodeId {
+        self.ctx.id
+    }
+
+    /// Current MAC state (diagnostics).
+    pub fn state(&self) -> State {
+        self.mac.state()
+    }
+
+    /// The node's local clock (latest time it has observed).
+    pub fn now(&self) -> SimTime {
+        self.ctx.now
+    }
+
+    /// MAC-layer counters.
+    pub fn counters(&self) -> &MacCounters {
+        &self.ctx.counters
+    }
+
+    /// Datagram-layer statistics.
+    pub fn stats(&self) -> &LiveStats {
+        &self.ctx.stats
+    }
+
+    /// Earliest pending timer, if any — the driver's next wakeup.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.ctx.wheel.next_deadline()
+    }
+
+    /// Toggle event tracing to stderr (diagnostics only).
+    pub fn set_trace(&mut self, on: bool) {
+        self.ctx.trace = on;
+    }
+
+    /// Accept an upper-layer transmit request.
+    pub fn submit(&mut self, req: TxRequest) {
+        self.mac.submit(&mut self.ctx, req);
+        self.drain_pending();
+    }
+
+    /// Advance the node's clock to `now`, firing every due timer in
+    /// timestamp order (each fires at its own exact time, so a firing
+    /// that schedules another timer still interleaves correctly).
+    pub fn advance(&mut self, now: SimTime) {
+        while let Some(d) = self.ctx.wheel.next_deadline() {
+            if d > now {
+                break;
+            }
+            let mut fired = std::mem::take(&mut self.fired);
+            fired.clear();
+            self.ctx.wheel.advance(d, &mut fired);
+            for (at, fire) in fired.drain(..) {
+                self.dispatch(at, fire);
+            }
+            self.fired = fired;
+        }
+        self.ctx.now = self.ctx.now.max(now);
+    }
+
+    /// Feed one received datagram (the driver timestamps it in MAC time;
+    /// it must have called [`advance`](LiveNode::advance) up to `inc.at`
+    /// first so timers and arrivals interleave in time order).
+    pub fn on_datagram(&mut self, inc: &Incoming) {
+        self.ctx.now = self.ctx.now.max(inc.at);
+        let d = match decode_datagram(&inc.bytes) {
+            Ok(d) => d,
+            Err(_) => {
+                self.ctx.stats.decode_errors += 1;
+                if inc.channel == DgramChannel::Data {
+                    // Unframeable energy on the data channel: model it as
+                    // noise with the airtime its length implies.
+                    let est = inc.bytes.len().saturating_sub(32);
+                    let noise = Frame::data_unreliable(
+                        NodeId(u16::MAX),
+                        Dest::Broadcast,
+                        Bytes::from(vec![0u8; est]),
+                        0,
+                    );
+                    self.rx_begin(noise, false, None);
+                }
+                self.drain_pending();
+                return;
+            }
+        };
+        if d.src == self.ctx.id {
+            // Our own multicast echo (UDP loopback) — not a reception.
+            self.ctx.stats.self_drops += 1;
+            return;
+        }
+        match d.body {
+            DgramBody::Frame(bytes) => {
+                self.ctx.stats.data_rx += 1;
+                match codec::decode(&bytes, d.src) {
+                    // A copy the transport's loss model faded still decodes
+                    // (the hub carries it intact) but arrives `corrupt`: the
+                    // reception runs its full airtime — carrier, collision
+                    // footprint, tone-window geometry all real — and only
+                    // the final FrameRx comes up `ok = false`, exactly a
+                    // radio frame that faded below the decode threshold.
+                    Ok(frame) => self.rx_begin(frame, !inc.corrupt, Some((d.src, d.counter))),
+                    Err(_) => {
+                        self.ctx.stats.decode_errors += 1;
+                        let est = bytes.len().saturating_sub(4);
+                        let noise = Frame::data_unreliable(
+                            d.src,
+                            Dest::Broadcast,
+                            Bytes::from(vec![0u8; est]),
+                            0,
+                        );
+                        self.rx_begin(noise, false, None);
+                    }
+                }
+            }
+            DgramBody::Tone { tone, on } => {
+                self.ctx.stats.ctrl_rx += 1;
+                let tone = match tone {
+                    DGRAM_TONE_RBT => Tone::Rbt,
+                    DGRAM_TONE_ABT => Tone::Abt,
+                    _ => {
+                        self.ctx.stats.decode_errors += 1;
+                        return;
+                    }
+                };
+                self.ctx.tone_edge(d.src, tone, on);
+            }
+            DgramBody::Abort { counter } => {
+                self.ctx.stats.ctrl_rx += 1;
+                self.aborted_rx.push((d.src, counter));
+            }
+            other => {
+                self.ctx.stats.ctrl_rx += 1;
+                self.ctrl_inbox.push((inc.at, d.src, other));
+            }
+        }
+        self.drain_pending();
+    }
+
+    /// First bit of a foreign frame: carrier rises now, the frame (and the
+    /// carrier fall) land one airtime later.
+    fn rx_begin(&mut self, frame: Frame, ok: bool, key: Option<(NodeId, u32)>) {
+        if let Some((src, ctr)) = key {
+            // Drop retraction markers for older datagrams from this
+            // sender: their frames were lost in transit, so no reception
+            // is left to poison.
+            self.aborted_rx
+                .retain(|&(s, c)| s != src || c.wrapping_sub(ctr) < u32::MAX / 2);
+        }
+        let serial = self.ctx.rx_serial;
+        self.ctx.rx_serial += 1;
+        // The hub has no geometry or power, so the collision model is the
+        // simulator's with capture off: any overlap kills every signal
+        // involved, and a node transmitting is deaf to arrivals
+        // (half-duplex). This is what serializes sessions on a real
+        // channel — without it two data phases could overlap *and both
+        // succeed*, and their interleaved ABT slots would misattribute
+        // acknowledgments.
+        if !self.ctx.live_rx.is_empty() || self.ctx.cur_tx.is_some() {
+            for &s in &self.ctx.live_rx {
+                if !self.ctx.collided_rx.contains(&s) {
+                    self.ctx.collided_rx.push(s);
+                }
+            }
+            self.ctx.collided_rx.push(serial);
+        }
+        self.ctx.live_rx.push(serial);
+        self.ctx.rx_carrier += 1;
+        if self.ctx.rx_carrier == 1 {
+            self.ctx
+                .pending
+                .push_back(Indication::CarrierOn { node: self.ctx.id });
+        }
+        let end = self.ctx.now + frame.airtime();
+        self.ctx.wheel.schedule(
+            end,
+            Fire::RxEnd {
+                frame,
+                ok,
+                key,
+                serial,
+            },
+        );
+    }
+
+    fn dispatch(&mut self, at: SimTime, fire: Fire) {
+        self.ctx.now = self.ctx.now.max(at);
+        match fire {
+            Fire::Mac(kind, gen) => {
+                self.mac.on_timer(&mut self.ctx, kind, gen);
+            }
+            Fire::TxDone { epoch } => {
+                if epoch == self.ctx.tx_epoch {
+                    if let Some(frame) = self.ctx.cur_tx.take() {
+                        self.ctx.cur_tx_ctr = None;
+                        let id = self.ctx.id;
+                        self.mac.on_indication(
+                            &mut self.ctx,
+                            &Indication::TxDone {
+                                node: id,
+                                frame,
+                                aborted: false,
+                            },
+                        );
+                    }
+                }
+            }
+            Fire::RxEnd {
+                frame,
+                ok,
+                key,
+                serial,
+            } => {
+                // An abort marker arriving mid-reception retracts the
+                // frame: the radio would have delivered a truncated,
+                // CRC-failing signal.
+                let retracted = key.is_some_and(|k| {
+                    self.aborted_rx
+                        .iter()
+                        .position(|&e| e == k)
+                        .map(|pos| self.aborted_rx.swap_remove(pos))
+                        .is_some()
+                });
+                if let Some(pos) = self.ctx.live_rx.iter().position(|&s| s == serial) {
+                    self.ctx.live_rx.swap_remove(pos);
+                }
+                let collided = self
+                    .ctx
+                    .collided_rx
+                    .iter()
+                    .position(|&s| s == serial)
+                    .map(|pos| self.ctx.collided_rx.swap_remove(pos))
+                    .is_some();
+                let ok = ok && !retracted && !collided;
+                if self.ctx.trace {
+                    eprintln!(
+                        "[{}] {:?} rx_end {:?} src={:?} dest={:?} ok={ok} \
+                         (retracted={retracted} collided={collided})",
+                        self.ctx.now.nanos(),
+                        self.ctx.id,
+                        frame.kind,
+                        frame.src,
+                        frame.dest
+                    );
+                }
+                let id = self.ctx.id;
+                self.mac.on_indication(
+                    &mut self.ctx,
+                    &Indication::FrameRx {
+                        node: id,
+                        frame,
+                        ok,
+                    },
+                );
+                debug_assert!(self.ctx.rx_carrier > 0);
+                self.ctx.rx_carrier = self.ctx.rx_carrier.saturating_sub(1);
+                if self.ctx.rx_carrier == 0 {
+                    self.ctx
+                        .pending
+                        .push_back(Indication::CarrierOff { node: id });
+                }
+            }
+        }
+        self.drain_pending();
+    }
+
+    /// Feed queued synthesized indications to the MAC. Each callback may
+    /// synthesize more; loop until quiet.
+    fn drain_pending(&mut self) {
+        while let Some(ind) = self.ctx.pending.pop_front() {
+            self.mac.on_indication(&mut self.ctx, &ind);
+        }
+    }
+
+    /// Drain outbound datagrams for the driver to send, each stamped with
+    /// the MAC time it was emitted (its first-bit time).
+    pub fn take_outbox(&mut self) -> Vec<(SimTime, OutDgram)> {
+        std::mem::take(&mut self.ctx.outbox)
+    }
+
+    /// Drain frames delivered up to the "network layer", with delivery
+    /// times.
+    pub fn take_delivered(&mut self) -> Vec<(SimTime, Frame)> {
+        std::mem::take(&mut self.ctx.delivered)
+    }
+
+    /// Drain finished transmit outcomes `(token, outcome)`.
+    pub fn take_outcomes(&mut self) -> Vec<(u64, TxOutcome)> {
+        std::mem::take(&mut self.ctx.outcomes)
+    }
+
+    /// Drain non-tone control payloads (Hello/Announce/Bye) for the
+    /// driver's session layer.
+    pub fn take_ctrl(&mut self) -> Vec<(SimTime, NodeId, DgramBody)> {
+        std::mem::take(&mut self.ctrl_inbox)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmac_wire::consts::PAPER_PAYLOAD;
+
+    fn n(i: u16) -> NodeId {
+        NodeId(i)
+    }
+
+    fn incoming(at: SimTime, channel: DgramChannel, bytes: Vec<u8>) -> Incoming {
+        Incoming {
+            at,
+            channel,
+            bytes,
+            peer: None,
+            corrupt: false,
+        }
+    }
+
+    /// Hand-deliver every datagram between two nodes with fixed latencies:
+    /// a two-node loopback hub in miniature (the real one lives in
+    /// `crate::hub`). Returns when both nodes are quiet.
+    fn pump(a: &mut LiveNode, b: &mut LiveNode, tau: SimTime) {
+        // In-flight: (arrival, destination index, channel, bytes)
+        let mut flight: Vec<(SimTime, usize, DgramChannel, Vec<u8>)> = Vec::new();
+        for _ in 0..100_000 {
+            for (i, node) in [&mut *a, &mut *b].into_iter().enumerate() {
+                for (at, out) in node.take_outbox() {
+                    match out {
+                        OutDgram::Data(bytes) => {
+                            // Multicast: the *other* node hears it.
+                            flight.push((at + tau, 1 - i, DgramChannel::Data, bytes));
+                        }
+                        OutDgram::Ctrl(to, bytes) => {
+                            let dest = if to == n(1) { 0 } else { 1 };
+                            flight.push((at + tau, dest, DgramChannel::Ctrl, bytes));
+                        }
+                    }
+                }
+            }
+            // Next event: earliest arrival or timer.
+            let arr = flight.iter().map(|f| f.0).min();
+            let t_a = a.next_deadline();
+            let t_b = b.next_deadline();
+            let next = [arr, t_a, t_b].into_iter().flatten().min();
+            let Some(t) = next else { break };
+            a.advance(t);
+            b.advance(t);
+            flight.sort_by_key(|f| f.0);
+            while let Some(pos) = flight.iter().position(|f| f.0 <= t) {
+                let (at, dest, ch, bytes) = flight.remove(pos);
+                let inc = incoming(at, ch, bytes);
+                if dest == 0 {
+                    a.on_datagram(&inc);
+                } else {
+                    b.on_datagram(&inc);
+                }
+            }
+        }
+    }
+
+    /// The full reliable unicast exchange — MRTS, RBT, data, ABT — runs
+    /// over datagrams end to end: the receiver delivers the payload and
+    /// the sender reports it delivered.
+    #[test]
+    fn reliable_exchange_over_datagrams() {
+        let pair = |me: u16, peer: u16| LiveConfig {
+            neighbors: vec![n(peer)],
+            seed: u64::from(me),
+            ..LiveConfig::default()
+        };
+        let mut tx = LiveNode::new(n(1), pair(1, 2));
+        let mut rx = LiveNode::new(n(2), pair(2, 1));
+        tx.submit(TxRequest {
+            reliable: true,
+            dest: Dest::Group(vec![n(2)]),
+            payload: Bytes::from(vec![7u8; PAPER_PAYLOAD]),
+            token: 42,
+        });
+        pump(&mut tx, &mut rx, SimTime::from_nanos(500));
+        let delivered = rx.take_delivered();
+        assert_eq!(delivered.len(), 1, "receiver must deliver the payload");
+        assert_eq!(delivered[0].1.payload.len(), PAPER_PAYLOAD);
+        let outcomes = tx.take_outcomes();
+        assert_eq!(outcomes.len(), 1);
+        match &outcomes[0] {
+            (42, TxOutcome::Reliable { delivered, failed }) => {
+                assert_eq!(delivered, &vec![n(2)]);
+                assert!(failed.is_empty());
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        assert_eq!(tx.counters().drops, 0);
+        assert!(tx.stats().data_tx >= 2, "MRTS + data");
+        assert!(tx.stats().ctrl_rx >= 2, "RBT on/off, ABT on/off");
+    }
+
+    /// With no receiver answering, the sender retries and eventually
+    /// reports the receiver failed — over datagrams just as in the sim.
+    #[test]
+    fn silence_exhausts_retries() {
+        let mut tx = LiveNode::new(n(1), LiveConfig::default());
+        tx.submit(TxRequest {
+            reliable: true,
+            dest: Dest::Group(vec![n(9)]),
+            payload: Bytes::from(vec![1u8; 64]),
+            token: 7,
+        });
+        // Drive by timers alone; nobody answers.
+        for _ in 0..100_000 {
+            let Some(d) = tx.next_deadline() else { break };
+            tx.advance(d);
+            tx.take_outbox();
+        }
+        let outcomes = tx.take_outcomes();
+        assert_eq!(outcomes.len(), 1);
+        match &outcomes[0] {
+            (7, TxOutcome::Reliable { delivered, failed }) => {
+                assert!(delivered.is_empty());
+                assert_eq!(failed, &vec![n(9)]);
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        assert_eq!(tx.counters().drops, 1);
+        assert_eq!(
+            tx.counters().retransmissions,
+            u64::from(MacConfig::default().retry_limit)
+        );
+    }
+
+    /// Undecodable bytes on the data channel behave as noise: carrier
+    /// rises and falls, nothing is delivered, and the MAC stays sane.
+    #[test]
+    fn garbage_is_noise_not_a_crash() {
+        let mut node = LiveNode::new(n(1), LiveConfig::default());
+        node.on_datagram(&incoming(
+            SimTime::from_micros(5),
+            DgramChannel::Data,
+            vec![0xAB; 40],
+        ));
+        assert_eq!(node.stats().decode_errors, 1);
+        // Carrier is up (busy) until the estimated airtime elapses.
+        let d = node.next_deadline().expect("noise end scheduled");
+        node.advance(d);
+        assert!(node.take_delivered().is_empty());
+        assert_eq!(node.stats().data_rx, 0);
+    }
+
+    /// A node's own multicast echo is discarded, not treated as traffic.
+    #[test]
+    fn own_echo_is_dropped() {
+        let mut node = LiveNode::new(n(3), LiveConfig::default());
+        node.submit(TxRequest {
+            reliable: false,
+            dest: Dest::Broadcast,
+            payload: Bytes::from_static(b"x"),
+            token: 0,
+        });
+        // Drive timers until the frame leaves (the MAC may back off first).
+        let mut out = node.take_outbox();
+        for _ in 0..10_000 {
+            if !out.is_empty() {
+                break;
+            }
+            let Some(d) = node.next_deadline() else { break };
+            node.advance(d);
+            out = node.take_outbox();
+        }
+        assert!(!out.is_empty());
+        let (_, OutDgram::Data(bytes)) = &out[0] else {
+            panic!("expected data dgram")
+        };
+        node.on_datagram(&incoming(
+            SimTime::from_micros(1),
+            DgramChannel::Data,
+            bytes.clone(),
+        ));
+        assert_eq!(node.stats().self_drops, 1);
+        assert_eq!(node.stats().data_rx, 0);
+    }
+}

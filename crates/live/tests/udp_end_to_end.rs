@@ -1,0 +1,97 @@
+//! End-to-end: the full RMAC exchange — MRTS, RBT, reliable DATA, ABT —
+//! over *real* UDP sockets on localhost, one driver thread per endpoint,
+//! exactly as the two-terminal `live_demo` runs it.
+//!
+//! MAC time runs `scale`× slower than wall time, so the paper's ±2 µs
+//! tone-window margins become hundreds of microseconds of wall slack —
+//! far above localhost jitter. The publisher retries on a missed window
+//! like any RMAC sender, so the test only fails if every attempt fails.
+
+use std::sync::mpsc;
+use std::thread;
+
+use bytes::Bytes;
+use rmac_core::{TxOutcome, TxRequest};
+use rmac_live::{Driver, LiveConfig, LiveNode, UdpConfig, UdpTransport};
+use rmac_sim::SimTime;
+use rmac_wire::{Dest, NodeId};
+
+const PUB: NodeId = NodeId(1);
+const SUB: NodeId = NodeId(2);
+
+fn transport(id: NodeId) -> UdpTransport {
+    UdpTransport::new(
+        id,
+        UdpConfig {
+            scale: 200,
+            ..UdpConfig::default()
+        },
+    )
+    .expect("bind localhost sockets")
+}
+
+#[test]
+fn reliable_multicast_over_real_sockets() {
+    let mut pub_t = transport(PUB);
+    let mut sub_t = transport(SUB);
+    // Bootstrap the peer tables from the freshly bound addresses (a real
+    // deployment would learn them from Hello datagrams instead).
+    let (pub_addr, sub_addr) = (pub_t.ctrl_addr(), sub_t.ctrl_addr());
+    pub_t.add_peer(SUB, sub_addr);
+    sub_t.add_peer(PUB, pub_addr);
+
+    let payload = vec![0xA5u8; 120];
+    let deadline = SimTime::from_millis(40); // 8 s of wall time at scale 200
+
+    let cfg = |peer: NodeId| LiveConfig {
+        neighbors: vec![peer],
+        ..LiveConfig::default()
+    };
+    let (done_tx, done_rx) = mpsc::channel::<()>();
+    let sub_payload = payload.clone();
+    let sub_cfg = cfg(PUB);
+    let subscriber = thread::spawn(move || {
+        let mut d = Driver::new(LiveNode::new(SUB, sub_cfg), sub_t);
+        let heard = d
+            .pump_until(deadline, |n| n.counters().delivered_up > 0)
+            .expect("subscriber transport failed");
+        assert!(heard, "subscriber never delivered within the deadline");
+        let got = d.node_mut().take_delivered();
+        assert!(!got.is_empty());
+        assert_eq!(got[0].1.payload.as_ref(), &sub_payload[..]);
+        assert_eq!(got[0].1.src, PUB);
+        // Keep pumping so late publisher retries still get their ABT
+        // until the publisher reports completion.
+        while done_rx.try_recv().is_err() {
+            d.pump().expect("subscriber transport failed");
+        }
+        d.node().stats().clone()
+    });
+
+    let mut d = Driver::new(LiveNode::new(PUB, cfg(SUB)), pub_t);
+    d.submit(TxRequest {
+        reliable: true,
+        dest: Dest::Group(vec![SUB]),
+        payload: Bytes::from(payload),
+        token: 7,
+    })
+    .expect("publisher transport failed");
+    let mut outcomes = Vec::new();
+    while outcomes.is_empty() {
+        let now = d.pump().expect("publisher transport failed");
+        outcomes = d.node_mut().take_outcomes();
+        assert!(now < deadline, "publisher got no outcome before deadline");
+    }
+    done_tx.send(()).ok();
+    let sub_stats = subscriber.join().expect("subscriber thread panicked");
+
+    let (7, TxOutcome::Reliable { delivered, failed }) = &outcomes[0] else {
+        panic!("unexpected outcome: {outcomes:?}");
+    };
+    assert_eq!(delivered, &vec![SUB], "ABT must be seen over real sockets");
+    assert!(failed.is_empty());
+    // The subscriber really spoke the control channel: it raised RBT and
+    // ABT as datagrams.
+    assert!(sub_stats.ctrl_tx > 0, "subscriber sent tone datagrams");
+    assert!(sub_stats.data_rx > 0, "subscriber heard data datagrams");
+}

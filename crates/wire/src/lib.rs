@@ -10,14 +10,18 @@
 //! * [`crc`] — a from-scratch CRC-32 (IEEE 802.3) used as the FCS,
 //! * [`codec`] — binary encode/decode of frames per the paper's Fig. 3,
 //! * [`airtime`] — transmission-delay arithmetic reproducing the paper's §2
-//!   numbers (96 µs PHY overhead, 56 µs ACK, ≈ 632·n µs BMMM control cost).
+//!   numbers (96 µs PHY overhead, 56 µs ACK, ≈ 632·n µs BMMM control cost),
+//! * [`datagram`] — the live-transport datagram framing (`rmac-live`):
+//!   MAC frames and busy-tone stand-ins as self-describing UDP payloads.
 
 pub mod addr;
 pub mod airtime;
 pub mod codec;
 pub mod consts;
 pub mod crc;
+pub mod datagram;
 pub mod frame;
 
 pub use addr::{Dest, NodeId};
+pub use datagram::{decode_datagram, encode_datagram, Datagram, DatagramError, DgramBody};
 pub use frame::{Frame, FrameKind};

@@ -23,6 +23,7 @@ pub use rmac_check as check;
 pub use rmac_core as mac;
 pub use rmac_engine as engine;
 pub use rmac_faults as faults;
+pub use rmac_live as live;
 pub use rmac_metrics as metrics;
 pub use rmac_mobility as mobility;
 pub use rmac_net as net;
