@@ -25,4 +25,8 @@ cargo run -q --release -p rmac-experiments --bin fuzz_scenarios -- --smoke
 echo "==> soak_live --smoke (live loopback soak: 100% delivery under 20% GE loss)"
 cargo run -q --release -p rmac-experiments --bin soak_live -- --smoke
 
+echo "==> shard stage (sharded-engine equivalence proptests + bench_shard --smoke)"
+cargo test -q --release --test shard_equivalence --test shard_tiebreak
+cargo run -q --release -p rmac-experiments --bin bench_shard -- --smoke
+
 echo "CI green."

@@ -108,6 +108,10 @@ pub struct FuzzScenario {
     pub payload: usize,
     /// Fault plane.
     pub faults: FuzzFaults,
+    /// Shard count for the sharded conservative-sync engine. Every case
+    /// runs both the single-queue oracle and the sharded engine at this
+    /// count; a report divergence is itself a finding.
+    pub shards: usize,
 }
 
 impl FuzzScenario {
@@ -127,11 +131,12 @@ impl FuzzScenario {
             }
         };
         format!(
-            "{topo}-{:?}-{:.0}pps-{}pkt-{}B{}",
+            "{topo}-{:?}-{:.0}pps-{}pkt-{}B-s{}{}",
             self.protocol,
             self.rate_pps,
             self.packets,
             self.payload,
+            self.shards,
             if self.faults.is_empty() {
                 ""
             } else {
@@ -194,21 +199,23 @@ pub fn scenario_strategy() -> impl Strategy<Value = FuzzScenario> {
         proptest::strategy::boxed(Just(FuzzProtocol::Rmac)),
         proptest::strategy::boxed(Just(FuzzProtocol::Bmmm)),
     ]);
+    let shards = prop_oneof![Just(1usize), Just(2), Just(4), Just(8)];
     (
         topology_strategy(),
         protocol,
         5.0..60.0,
         (3u64..=30, 50usize..=500),
-        faults_strategy(),
+        (faults_strategy(), shards),
     )
         .prop_map(
-            |(topology, protocol, rate_pps, (packets, payload), faults)| FuzzScenario {
+            |(topology, protocol, rate_pps, (packets, payload), (faults, shards))| FuzzScenario {
                 topology,
                 protocol,
                 rate_pps,
                 packets,
                 payload,
                 faults,
+                shards,
             },
         )
 }
@@ -233,6 +240,7 @@ mod tests {
                 assert!(j.target < 3);
                 assert!(j.burst_ms < j.period_ms, "burst fits inside period");
             }
+            assert!(matches!(s.shards, 1 | 2 | 4 | 8));
             assert!(!s.label().is_empty());
         }
     }
@@ -263,5 +271,7 @@ mod tests {
         assert!(draws
             .iter()
             .any(|s| matches!(s.topology, FuzzTopology::Cluster { .. })));
+        assert!(draws.iter().any(|s| s.shards == 1));
+        assert!(draws.iter().any(|s| s.shards > 1));
     }
 }

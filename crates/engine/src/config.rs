@@ -133,6 +133,13 @@ pub struct ScenarioConfig {
     /// panics on any invariant violation). Off by default; like the obs
     /// layer, an attached checker never perturbs the simulation.
     pub check: bool,
+    /// Shard count for the sharded conservative-sync engine
+    /// ([`crate::run_replication_sharded`]): the plane is cut into this
+    /// many equal-width stripes along x, each owning the events of the
+    /// nodes inside it. `1` (the default) is the single-queue oracle;
+    /// any value produces bit-identical reports (DESIGN.md §10, enforced
+    /// by `tests/shard_equivalence.rs`).
+    pub shards: usize,
 }
 
 impl ScenarioConfig {
@@ -161,6 +168,7 @@ impl ScenarioConfig {
             reliable_forwarding: true,
             phy_grid: true,
             check: false,
+            shards: 1,
         }
     }
 
@@ -227,6 +235,13 @@ impl ScenarioConfig {
     /// violation fails the run).
     pub fn with_check(mut self) -> Self {
         self.check = true;
+        self
+    }
+
+    /// Partition the world into `shards` spatial stripes for the sharded
+    /// engine. Reports stay bit-identical for every value.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
         self
     }
 

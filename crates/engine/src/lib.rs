@@ -19,6 +19,7 @@
 
 pub mod config;
 pub mod obs;
+pub mod shard;
 pub mod trace;
 pub mod transport;
 pub mod world;
@@ -28,6 +29,10 @@ pub use obs::ObsConfig;
 pub use rmac_check::{CheckReport, Invariant, Violation};
 pub use rmac_faults::FaultPlan;
 pub use rmac_obs::ObsReport;
+pub use shard::{
+    run_replication_sharded, run_replication_sharded_checked, run_replication_sharded_with_faults,
+    ShardStats, ShardedRunner,
+};
 pub use trace::{
     filter_tracer, jsonl_file_tracer, JsonlSink, SinkSummary, TraceEvent, TraceLevel, TraceWhat,
     Tracer,

@@ -1,0 +1,620 @@
+//! The sharded conservative-sync engine (DESIGN.md §10).
+//!
+//! The plane is cut into `cfg.shards` equal-width stripes along x; every
+//! channel slot (protocol node or jammer) belongs to the stripe containing
+//! its initial position. Each replication then runs as one or more *shard
+//! groups*:
+//!
+//! * Events live in a [`ShardedQueue`]: one sub-queue per shard, a shared
+//!   tie-break sequence counter, pops in global `(time, seq)` order. The
+//!   partition changes where events are stored, never when they dispatch,
+//!   so any shard count is bit-identical to the flat-queue oracle by
+//!   construction.
+//! * Shards whose node populations are radio-isolated from each other —
+//!   no cross-stripe pair within `range_m` — can never exchange events,
+//!   because every event the engine generates targets either its emitting
+//!   node or a receiver within radio range. The coupling analysis
+//!   ([`coupled_groups`]) unions shards bridged by an in-range pair; the
+//!   resulting connected components are *causally closed* and run
+//!   concurrently on scoped per-group runners, one OS thread each.
+//! * A group's runner is the oracle restricted to the group: it builds the
+//!   full-width world (so global node indexing, RNG stream derivation and
+//!   the spatial grid are untouched) but seeds and dispatches only owned
+//!   slots. Since the serial oracle's execution restricted to a causally
+//!   closed subset *is* that subset's own execution (FIFO tie-breaks are
+//!   preserved on subsequences), each group reproduces its slice of the
+//!   oracle run exactly.
+//! * The one shared RNG stream crossing groups — the beacon scheduler —
+//!   is closed under the beacon subsystem, so its draws are pre-played
+//!   into a [`BeaconTimetable`] that every group reads instead of a live
+//!   stream.
+//!
+//! Scenarios where causal closure cannot be proven cheaply fall back to a
+//! single group: mobility (nodes roam the whole plane), a positive BER or
+//! an attached tracer (the channel-noise draws and trace emission order
+//! are globally sequenced). A single group still exercises the sharded
+//! queue, the router and the timetable — `shards = 1` *is* the oracle
+//! algorithm — it just runs serially-canonically on one thread.
+//!
+//! Per-group results merge back losslessly: per-node state is taken from
+//! each node's owner group in global node order (float accumulation order
+//! is part of bit-identity), channel/fault tallies are sums, and the final
+//! clock is the max. `tests/shard_equivalence.rs` holds the whole stack to
+//! `RunReport` bit-identity against [`run_replication`] at 2/4/8 shards.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+use rmac_check::CheckReport;
+use rmac_faults::FaultPlan;
+use rmac_metrics::RunReport;
+use rmac_mobility::{MobilityKind, Pos};
+use rmac_phy::FrameTallies;
+use rmac_sim::{EventQueue, ShardedQueue, SimRng, SimTime};
+
+use crate::config::{Protocol, ScenarioConfig};
+use crate::trace::Tracer;
+use crate::world::{
+    build_motions, collect_report, BeaconPlan, Ev, Harvest, Runner, Scope, BEACON_JITTER_NS,
+};
+
+/// Guard margin on the radio range when testing whether two stripes are
+/// coupled. Coupling strictly more than the channel does is always safe
+/// (it only costs parallelism); this absorbs any floating-point slack in
+/// the channel's own `dist ≤ range` comparison.
+const RANGE_EPS: f64 = 1e-6;
+
+/// Spatial partition of channel slots into equal-width stripes along x.
+pub(crate) struct ShardMap {
+    /// Per channel slot (protocol nodes, then jammers): owning shard.
+    pub(crate) owner: Vec<usize>,
+}
+
+impl ShardMap {
+    /// Assign each slot to the stripe containing its position:
+    /// `floor(x / (width / shards))`, clamped into range so positions on
+    /// (or beyond) the right edge land in the last stripe.
+    pub(crate) fn stripes(positions: &[Pos], width: f64, shards: usize) -> ShardMap {
+        let stripe_w = width / shards as f64;
+        let owner = positions
+            .iter()
+            .map(|p| {
+                if stripe_w > 0.0 && p.x.is_finite() {
+                    ((p.x / stripe_w).floor() as i64).clamp(0, shards as i64 - 1) as usize
+                } else {
+                    0
+                }
+            })
+            .collect();
+        ShardMap { owner }
+    }
+}
+
+/// Union shards bridged by any cross-stripe slot pair within radio range
+/// and return the connected components (each a sorted list of shard ids,
+/// components ordered by their smallest member). Components are causally
+/// closed: no event generated inside one can target a slot in another.
+pub(crate) fn coupled_groups(
+    positions: &[Pos],
+    owner: &[usize],
+    shards: usize,
+    range_m: f64,
+) -> Vec<Vec<usize>> {
+    fn find(uf: &mut [usize], mut i: usize) -> usize {
+        while uf[i] != i {
+            uf[i] = uf[uf[i]];
+            i = uf[i];
+        }
+        i
+    }
+    let mut uf: Vec<usize> = (0..shards).collect();
+    let reach = range_m + RANGE_EPS;
+    // Plane sweep along x: only pairs with |dx| ≤ reach can couple, so a
+    // sliding window keeps the check near-linear for striped layouts.
+    let mut order: Vec<usize> = (0..positions.len()).collect();
+    order.sort_by(|&a, &b| {
+        positions[a]
+            .x
+            .partial_cmp(&positions[b].x)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let mut lo = 0usize;
+    for k in 0..order.len() {
+        let i = order[k];
+        while positions[order[lo]].x < positions[i].x - reach {
+            lo += 1;
+        }
+        for &j in &order[lo..k] {
+            if owner[i] == owner[j] {
+                continue;
+            }
+            let (ri, rj) = (find(&mut uf, owner[i]), find(&mut uf, owner[j]));
+            if ri == rj {
+                continue;
+            }
+            let dx = positions[i].x - positions[j].x;
+            let dy = positions[i].y - positions[j].y;
+            if dx * dx + dy * dy <= reach * reach {
+                // Union to the smaller root so components keep their
+                // smallest shard id as representative.
+                uf[ri.max(rj)] = ri.min(rj);
+            }
+        }
+    }
+    let mut components: Vec<Vec<usize>> = vec![Vec::new(); shards];
+    for s in 0..shards {
+        let r = find(&mut uf, s);
+        components[r].push(s);
+    }
+    components.retain(|g| !g.is_empty());
+    components
+}
+
+/// The beacon schedule, pre-played from the scheduler RNG stream.
+///
+/// The oracle's `sched_rng` (the master's `split(3)`) is consumed *only*
+/// by the beacon subsystem: one initial-stagger draw per node in node
+/// order, then one jitter draw per beacon dispatch, in global dispatch
+/// order — crashed nodes keep ticking (and drawing), so the sequence never
+/// depends on any other subsystem. That closure means the whole schedule
+/// can be computed up front by replaying just the beacon events through a
+/// miniature queue; each shard group then reads its nodes' fire times from
+/// the shared table, consuming exactly "its" draws without a live shared
+/// stream.
+pub(crate) struct BeaconTimetable;
+
+impl BeaconTimetable {
+    /// Per node: absolute beacon fire times, covering every dispatch at or
+    /// before `end` plus one successor each (so [`BeaconPlan`] can always
+    /// read the next fire).
+    pub(crate) fn build(
+        nodes: usize,
+        period: SimTime,
+        end: SimTime,
+        sched: &mut SimRng,
+    ) -> Vec<Vec<SimTime>> {
+        let mut times: Vec<Vec<SimTime>> = vec![Vec::new(); nodes];
+        let mut q: EventQueue<u16> = EventQueue::with_capacity(nodes.max(16));
+        // Initial staggers: drawn in node order, exactly as the oracle's
+        // seeding loop does.
+        for (i, t) in times.iter_mut().enumerate() {
+            let at = SimTime::from_nanos(sched.below(period.nanos().max(1)));
+            t.push(at);
+            q.push(at, i as u16);
+        }
+        // Replay dispatches. Beacon events pop here in the same relative
+        // order as in the full queue: pushes happen at the dispatch of the
+        // predecessor beacon (same order by induction) and simultaneous
+        // beacons tie-break FIFO in both queues. Interleaved non-beacon
+        // events neither draw from the stream nor reorder beacons.
+        while let Some((t, node)) = q.pop() {
+            if t > end {
+                // Time-ordered pops: everything remaining is also past the
+                // end of the run and never dispatches.
+                break;
+            }
+            let jitter = SimTime::from_nanos(sched.below(BEACON_JITTER_NS));
+            let next = t + period + jitter;
+            times[node as usize].push(next);
+            q.push(next, node);
+        }
+        times
+    }
+}
+
+/// Scheduling statistics of one sharded replication.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardStats {
+    /// Configured shard count.
+    pub shards: usize,
+    /// Causally closed shard groups the run decomposed into (1 when the
+    /// scenario forces serial execution).
+    pub groups: usize,
+    /// Events pushed to a different shard than the one dispatching — the
+    /// cross-shard bus traffic, summed over groups.
+    pub cross_pushes: u64,
+    /// Events that stayed on their dispatching shard, summed over groups.
+    pub local_pushes: u64,
+}
+
+/// Result of one shard group's run.
+struct GroupRun {
+    harvest: Harvest,
+    check: Option<CheckReport>,
+    cross_pushes: u64,
+    local_pushes: u64,
+}
+
+/// A replication driven by the sharded engine. Construction mirrors
+/// [`Runner`]; `cfg.shards` picks the partition width.
+pub struct ShardedRunner {
+    cfg: ScenarioConfig,
+    protocol: Protocol,
+    seed: u64,
+    plan: FaultPlan,
+    tracer: Option<Tracer>,
+}
+
+impl ShardedRunner {
+    /// Build a sharded replication from a scenario, protocol and seed.
+    pub fn new(cfg: &ScenarioConfig, protocol: Protocol, seed: u64) -> ShardedRunner {
+        ShardedRunner::with_faults(cfg, protocol, seed, &FaultPlan::none())
+    }
+
+    /// Build a sharded replication with a fault plan attached.
+    pub fn with_faults(
+        cfg: &ScenarioConfig,
+        protocol: Protocol,
+        seed: u64,
+        plan: &FaultPlan,
+    ) -> ShardedRunner {
+        ShardedRunner {
+            cfg: cfg.clone(),
+            protocol,
+            seed,
+            plan: plan.clone(),
+            tracer: None,
+        }
+    }
+
+    /// Attach a trace observer. Tracing forces single-group (serial)
+    /// execution so the emission order stays the oracle's, which is what
+    /// lets the golden traces replay byte-stable at any shard count.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Run to completion and produce the replication's report (panicking
+    /// on conformance violations when `cfg.check` is set, like
+    /// [`Runner::run`]).
+    pub fn run(self) -> RunReport {
+        self.run_with_stats().0
+    }
+
+    /// Run to completion, also returning the scheduling statistics.
+    pub fn run_with_stats(self) -> (RunReport, ShardStats) {
+        let (report, _, stats) = self.execute(false);
+        (report, stats)
+    }
+
+    /// Run with the conformance checker attached (regardless of
+    /// `cfg.check`) and return the merged per-group conformance report
+    /// instead of panicking — the fuzzer's sharded entry point. Violations
+    /// are listed group-by-group (event order within each group).
+    pub fn run_checked(self) -> (RunReport, CheckReport) {
+        let (report, check, _) = self.execute(true);
+        (report, check.expect("checked run lost its report"))
+    }
+
+    fn execute(mut self, collect_check: bool) -> (RunReport, Option<CheckReport>, ShardStats) {
+        let shards = self.cfg.shards.max(1);
+        let master = SimRng::new(self.seed);
+        let mut motions = build_motions(&self.cfg, &self.plan, &master);
+        let positions: Vec<Pos> = motions
+            .iter_mut()
+            .map(|m| m.position_at(SimTime::ZERO))
+            .collect();
+        let map = ShardMap::stripes(&positions, self.cfg.bounds.width, shards);
+        // Causal closure is only provable for frozen geometry and a noise-
+        // free channel: mobility lets nodes roam across stripes, a positive
+        // BER sequences the shared channel-noise stream over all receptions,
+        // and a tracer needs the global emission order.
+        let parallel_ok = matches!(self.cfg.mobility, MobilityKind::Stationary)
+            && self.cfg.ber_per_bit == 0.0
+            && self.tracer.is_none();
+        let groups: Vec<Vec<usize>> = if parallel_ok {
+            coupled_groups(&positions, &map.owner, shards, self.cfg.range_m)
+        } else {
+            vec![(0..shards).collect()]
+        };
+        let times = Arc::new(BeaconTimetable::build(
+            self.cfg.nodes,
+            self.cfg.beacon_period,
+            self.cfg.end_time(),
+            &mut master.split(3),
+        ));
+        let cfg = &self.cfg;
+        let plan = &self.plan;
+        let protocol = self.protocol;
+        let seed = self.seed;
+        let nodes = cfg.nodes;
+        let owner = &map.owner;
+        let tracer = self.tracer.take();
+
+        let run_group = |group: &[usize], tracer: Option<Tracer>| -> GroupRun {
+            // Local (sub-queue) index of each shard in this group.
+            let mut local_of = vec![usize::MAX; shards];
+            for (li, &s) in group.iter().enumerate() {
+                local_of[s] = li;
+            }
+            let owned: Vec<bool> = owner.iter().map(|&s| local_of[s] != usize::MAX).collect();
+            let owner = owner.clone();
+            let router = move |ev: &Ev| local_of[owner[ev.home_slot(nodes)]];
+            let per_shard = group.len().max(1);
+            let mut runner: Runner<ShardedQueue<Ev>> = Runner::assemble(
+                cfg,
+                protocol,
+                seed,
+                plan,
+                |cap| ShardedQueue::new(per_shard, cap / per_shard + 1, Box::new(router)),
+                Some(Scope { owned }),
+                Some(BeaconPlan::new(Arc::clone(&times))),
+            );
+            if let Some(t) = tracer {
+                runner.set_tracer(t);
+            }
+            if collect_check {
+                runner.ensure_check();
+            }
+            runner.run_loop();
+            let check = if collect_check {
+                runner.finish_check()
+            } else {
+                runner.assert_check_clean();
+                None
+            };
+            let (cross_pushes, local_pushes) = runner.bus_stats();
+            GroupRun {
+                harvest: runner.harvest(),
+                check,
+                cross_pushes,
+                local_pushes,
+            }
+        };
+
+        // One worker per available core, capped by the group count.
+        // Oversubscribing cores would only interleave the groups and
+        // thrash their working sets against each other; on a single-core
+        // host the groups therefore run back to back, and the speedup
+        // over the oracle is pure working-set reduction (smaller event
+        // heap, smaller live state per group).
+        let workers = thread::available_parallelism()
+            .map_or(1, |n| n.get())
+            .min(groups.len());
+        let results: Vec<GroupRun> = if groups.len() == 1 {
+            vec![run_group(&groups[0], tracer)]
+        } else if workers <= 1 {
+            groups.iter().map(|g| run_group(g, None)).collect()
+        } else {
+            let next = AtomicUsize::new(0);
+            let slots: Vec<Mutex<Option<GroupRun>>> =
+                groups.iter().map(|_| Mutex::new(None)).collect();
+            thread::scope(|s| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        s.spawn(|| loop {
+                            let gi = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(g) = groups.get(gi) else { break };
+                            let run = run_group(g, None);
+                            *slots[gi].lock().expect("slot poisoned") = Some(run);
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    // A group panic (e.g. a conformance breach under
+                    // `cfg.check`) surfaces with its own message.
+                    if let Err(payload) = h.join() {
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            });
+            slots
+                .into_iter()
+                .map(|m| {
+                    m.into_inner()
+                        .expect("slot poisoned")
+                        .expect("worker pool left a group unrun")
+                })
+                .collect()
+        };
+
+        let mut stats = ShardStats {
+            shards,
+            groups: groups.len(),
+            cross_pushes: 0,
+            local_pushes: 0,
+        };
+        let mut results = results.into_iter();
+        let first = results.next().expect("at least one shard group");
+        stats.cross_pushes += first.cross_pushes;
+        stats.local_pushes += first.local_pushes;
+        let mut merged = first.harvest;
+        let mut checks: Vec<CheckReport> = first.check.into_iter().collect();
+        for (gi, r) in results.enumerate() {
+            let group = &groups[gi + 1];
+            stats.cross_pushes += r.cross_pushes;
+            stats.local_pushes += r.local_pushes;
+            let h = r.harvest;
+            // Per-node state comes from each node's owner group; the merge
+            // walks global node order so downstream float accumulation in
+            // `collect_report` sums in the oracle's order.
+            for (i, (net, ctr)) in h.nets.into_iter().zip(h.counters).enumerate() {
+                if group.contains(&map.owner[i]) {
+                    merged.nets[i] = net;
+                    merged.counters[i] = ctr;
+                }
+            }
+            add_tallies(&mut merged.frames, &h.frames);
+            merged.faults_injected += h.faults_injected;
+            merged.events += h.events;
+            merged.now = merged.now.max(h.now);
+            merged.packets_sent += h.packets_sent;
+            merged.crashes += h.crashes;
+            merged.jam_bursts += h.jam_bursts;
+            checks.extend(r.check);
+        }
+        let report = collect_report(&self.cfg, protocol, seed, &merged);
+        let check = collect_check.then(|| merge_checks(checks));
+        (report, check, stats)
+    }
+}
+
+fn add_tallies(into: &mut FrameTallies, from: &FrameTallies) {
+    for (a, b) in into.tx_frames.iter_mut().zip(from.tx_frames) {
+        *a += b;
+    }
+    into.tx_aborted += from.tx_aborted;
+    for (a, b) in into.rx_ok.iter_mut().zip(from.rx_ok) {
+        *a += b;
+    }
+    for (a, b) in into.rx_corrupt.iter_mut().zip(from.rx_corrupt) {
+        *a += b;
+    }
+}
+
+/// Concatenate per-group conformance reports: violations in group order,
+/// gate counters summed, truncation sticky.
+fn merge_checks(reports: Vec<CheckReport>) -> CheckReport {
+    let mut reports = reports.into_iter();
+    let mut out = reports.next().unwrap_or(CheckReport {
+        violations: Vec::new(),
+        tx_checked: 0,
+        rx_ok_checked: 0,
+        tone_emissions: 0,
+        transition_nodes: 0,
+        truncated: false,
+    });
+    for r in reports {
+        out.violations.extend(r.violations);
+        out.tx_checked += r.tx_checked;
+        out.rx_ok_checked += r.rx_ok_checked;
+        out.tone_emissions += r.tone_emissions;
+        out.transition_nodes += r.transition_nodes;
+        out.truncated |= r.truncated;
+    }
+    out
+}
+
+/// Run one replication under the sharded engine and return its report
+/// (bit-identical to [`run_replication`] for any `cfg.shards`).
+///
+/// [`run_replication`]: crate::run_replication
+pub fn run_replication_sharded(cfg: &ScenarioConfig, protocol: Protocol, seed: u64) -> RunReport {
+    ShardedRunner::new(cfg, protocol, seed).run()
+}
+
+/// Run one sharded replication under a fault plan.
+pub fn run_replication_sharded_with_faults(
+    cfg: &ScenarioConfig,
+    protocol: Protocol,
+    seed: u64,
+    plan: &FaultPlan,
+) -> RunReport {
+    ShardedRunner::with_faults(cfg, protocol, seed, plan).run()
+}
+
+/// Run one sharded replication with the conformance checker attached on
+/// every shard group, returning the merged report without panicking on
+/// violations. The fuzzer's sharded entry point.
+pub fn run_replication_sharded_checked(
+    cfg: &ScenarioConfig,
+    protocol: Protocol,
+    seed: u64,
+    plan: &FaultPlan,
+) -> (RunReport, CheckReport) {
+    ShardedRunner::with_faults(cfg, protocol, seed, plan).run_checked()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::run_replication;
+
+    #[test]
+    fn stripes_partition_by_x() {
+        let pos = [
+            Pos::new(10.0, 5.0),
+            Pos::new(240.0, 5.0),
+            Pos::new(499.0, 5.0),
+            Pos::new(250.0, 299.0),
+        ];
+        let map = ShardMap::stripes(&pos, 500.0, 2);
+        assert_eq!(map.owner, vec![0, 0, 1, 1]);
+        // Positions on/past the right edge clamp into the last stripe.
+        let map = ShardMap::stripes(&[Pos::new(500.0, 0.0), Pos::new(-3.0, 0.0)], 500.0, 4);
+        assert_eq!(map.owner, vec![3, 0]);
+    }
+
+    #[test]
+    fn isolated_stripes_form_separate_groups() {
+        // Two clusters 300 m apart with a 75 m radio: the stripes are
+        // radio-isolated and decompose into two groups.
+        let pos = [
+            Pos::new(50.0, 50.0),
+            Pos::new(60.0, 50.0),
+            Pos::new(440.0, 50.0),
+            Pos::new(450.0, 50.0),
+        ];
+        let map = ShardMap::stripes(&pos, 500.0, 2);
+        let groups = coupled_groups(&pos, &map.owner, 2, 75.0);
+        assert_eq!(groups, vec![vec![0], vec![1]]);
+    }
+
+    #[test]
+    fn cross_stripe_pair_in_range_couples_shards() {
+        // Nodes at 240 m and 260 m straddle the 250 m stripe boundary
+        // within a 75 m radio range: the two stripes must join one group.
+        let pos = [Pos::new(240.0, 50.0), Pos::new(260.0, 50.0)];
+        let map = ShardMap::stripes(&pos, 500.0, 2);
+        assert_eq!(map.owner, vec![0, 1]);
+        let groups = coupled_groups(&pos, &map.owner, 2, 75.0);
+        assert_eq!(groups, vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn coupling_is_transitive() {
+        // A chain across three stripes: 0–1 coupled and 1–2 coupled must
+        // merge all three, even though 0 and 2 are far apart.
+        let pos = [
+            Pos::new(160.0, 0.0),
+            Pos::new(170.0, 0.0), // stripe 1 (167..333)
+            Pos::new(330.0, 0.0),
+            Pos::new(340.0, 0.0), // stripe 2
+        ];
+        let map = ShardMap::stripes(&pos, 500.0, 3);
+        assert_eq!(map.owner, vec![0, 1, 1, 2]);
+        let groups = coupled_groups(&pos, &map.owner, 3, 75.0);
+        assert_eq!(groups, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn timetable_is_monotonic_and_covers_the_run() {
+        let period = SimTime::from_millis(500);
+        let end = SimTime::from_secs(10);
+        let mut sched = SimRng::new(42).split(3);
+        let times = BeaconTimetable::build(8, period, end, &mut sched);
+        assert_eq!(times.len(), 8);
+        for per_node in &times {
+            // Initial stagger inside one period, then strictly increasing
+            // steps of period..period+jitter.
+            assert!(per_node[0] < period);
+            for w in per_node.windows(2) {
+                let step = w[1] - w[0];
+                assert!(step >= period);
+                assert!(step < period + SimTime::from_nanos(BEACON_JITTER_NS));
+            }
+            // The table runs past the end of the run (last entry is the
+            // never-dispatched successor).
+            assert!(*per_node.last().unwrap() > end);
+        }
+    }
+
+    #[test]
+    fn sharded_report_matches_oracle_on_a_small_scenario() {
+        // The full equivalence matrix lives in tests/shard_equivalence.rs;
+        // this is the in-crate smoke for the plumbing.
+        let cfg = ScenarioConfig::paper_stationary(5.0)
+            .with_nodes(20)
+            .with_packets(10);
+        let oracle = run_replication(&cfg, Protocol::Rmac, 7);
+        for shards in [1usize, 2, 4] {
+            let cfg = cfg.clone().with_shards(shards);
+            let (report, stats) = ShardedRunner::new(&cfg, Protocol::Rmac, 7).run_with_stats();
+            assert_eq!(report, oracle, "shards={shards}");
+            assert_eq!(stats.shards, shards);
+            assert!(stats.groups >= 1);
+        }
+    }
+}

@@ -8,8 +8,9 @@ use rmac_metrics::{percentile, RunReport};
 use rmac_mobility::{random_positions, MobilityKind, Motion, Pos};
 use rmac_net::{BlessConfig, NetLayer};
 use rmac_obs::{frame_kind_index, ObsReport, Registry, Snapshot};
+use rmac_phy::FrameTallies;
 use rmac_phy::{Channel, ChannelConfig, IndexMode, Indication, PhyEvent, Tone, ToneLog};
-use rmac_sim::{EventQueue, SimRng, SimTime};
+use rmac_sim::{EventQueue, ShardedQueue, SimQueue, SimRng, SimTime};
 use rmac_wire::{consts::BYTE_TIME, Dest, Frame, NodeId};
 
 use crate::config::{Protocol, ScenarioConfig};
@@ -58,11 +59,126 @@ impl From<PhyEvent> for Ev {
     }
 }
 
+impl Ev {
+    /// The channel slot (protocol node index, or jammer slot past the
+    /// protocol population) whose owner shard dispatches this event. Every
+    /// engine event has exactly one home slot, which is what lets the
+    /// sharded queue partition events without changing their dispatch
+    /// order (DESIGN.md §10).
+    pub fn home_slot(&self, nodes: usize) -> usize {
+        match *self {
+            Ev::Phy(PhyEvent::FrameArriveStart { rx, .. })
+            | Ev::Phy(PhyEvent::FrameArriveEnd { rx, .. })
+            | Ev::Phy(PhyEvent::ToneEdge { rx, .. }) => rx.idx(),
+            Ev::Phy(PhyEvent::TxComplete { node, .. }) => node.idx(),
+            Ev::MacTimer { node, .. } | Ev::Beacon { node } => node.idx(),
+            // The application source is pinned to node 0 (the tree root).
+            Ev::Source => 0,
+            Ev::Fault(FaultEv::NodeDown { node }) | Ev::Fault(FaultEv::NodeUp { node }) => {
+                node.idx()
+            }
+            Ev::Fault(FaultEv::JamOn { jammer }) | Ev::Fault(FaultEv::JamOff { jammer }) => {
+                nodes + jammer
+            }
+        }
+    }
+}
+
+/// Per-beacon scheduling jitter bound (ns): each beacon reschedules at
+/// `period + uniform(0, BEACON_JITTER_NS)` so beacons never phase-lock
+/// with the data traffic. Shared with the shard module's timetable
+/// builder, which must replay the draws exactly.
+pub(crate) const BEACON_JITTER_NS: u64 = 10_000_000;
+
+/// Restriction of a runner to the channel slots its shard group owns.
+/// Scoped runners only seed and dispatch events for owned slots; the
+/// coupling analysis in [`crate::shard`] guarantees no event for a
+/// non-owned slot can ever be generated.
+pub(crate) struct Scope {
+    /// Per channel slot (protocol nodes, then jammers): owned here?
+    pub(crate) owned: Vec<bool>,
+}
+
+impl Scope {
+    fn owns(&self, slot: usize) -> bool {
+        self.owned[slot]
+    }
+}
+
+/// A precomputed beacon schedule (see [`crate::shard::BeaconTimetable`]).
+/// When attached, the runner reads each node's next beacon fire time from
+/// the table instead of drawing jitter from the shared scheduler stream —
+/// the values are identical (the beacon subsystem is closed under the
+/// scheduler stream), but the table lets decoupled shard groups consume
+/// "their" draws without a live shared RNG.
+pub(crate) struct BeaconPlan {
+    /// Per node: absolute fire times, `times[i][0]` being the initial
+    /// staggered beacon. Covers every fire at or before end-of-run plus
+    /// one successor each.
+    pub(crate) times: std::sync::Arc<Vec<Vec<SimTime>>>,
+    /// Per node: how many fires have dispatched so far.
+    fired: Vec<u32>,
+}
+
+impl BeaconPlan {
+    pub(crate) fn new(times: std::sync::Arc<Vec<Vec<SimTime>>>) -> BeaconPlan {
+        let n = times.len();
+        BeaconPlan {
+            times,
+            fired: vec![0; n],
+        }
+    }
+
+    /// The fire time following the beacon currently dispatching at `node`.
+    fn next_fire(&mut self, node: NodeId, now: SimTime) -> SimTime {
+        let k = self.fired[node.idx()] as usize;
+        self.fired[node.idx()] += 1;
+        debug_assert_eq!(
+            self.times[node.idx()][k],
+            now,
+            "beacon timetable out of step with dispatch"
+        );
+        self.times[node.idx()][k + 1]
+    }
+}
+
+/// Node placement and motion assembly shared by the oracle and sharded
+/// engines: positions from the master's `split(1)` stream, per-node
+/// waypoint motions from `split(1000 + i)`, jammer slots appended
+/// stationary. Pure in `master`, so every shard group derives identical
+/// world geometry.
+pub(crate) fn build_motions(
+    cfg: &ScenarioConfig,
+    plan: &FaultPlan,
+    master: &SimRng,
+) -> Vec<Motion> {
+    let mut place_rng = master.split(1);
+    let positions = cfg
+        .positions
+        .clone()
+        .unwrap_or_else(|| random_positions(cfg.nodes, cfg.bounds, &mut place_rng));
+    debug_assert_eq!(positions.len(), cfg.nodes, "position count mismatch");
+    let mut motions: Vec<Motion> = positions
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| match cfg.mobility {
+            MobilityKind::Stationary => Motion::stationary(p),
+            kind => Motion::new(p, kind, cfg.bounds, master.split(1000 + i as u64)),
+        })
+        .collect();
+    // Jammers occupy extra channel slots past the protocol population;
+    // they carry no MAC or network entity and never move.
+    for j in &plan.jammers {
+        motions.push(Motion::stationary(Pos { x: j.x, y: j.y }));
+    }
+    motions
+}
+
 /// Everything the MAC context borrows mutably: the queue, channel, and
 /// per-node rngs/counters. Kept separate from the MAC/net entities so the
 /// borrow checker can hand a MAC `&mut` access to the rest of the world.
-struct WorldCore {
-    q: EventQueue<Ev>,
+struct WorldCore<Q: SimQueue<Ev>> {
+    q: Q,
     channel: Channel,
     chan_rng: SimRng,
     rngs: Vec<SimRng>,
@@ -81,7 +197,7 @@ struct WorldCore {
     check: Option<Box<Checker>>,
 }
 
-impl WorldCore {
+impl<Q: SimQueue<Ev>> WorldCore<Q> {
     /// Apply `node`'s clock-skew factor to a MAC timer delay.
     fn skewed(&self, node: NodeId, delay: SimTime) -> SimTime {
         let f = self.skew[node.idx()];
@@ -94,8 +210,8 @@ impl WorldCore {
 }
 
 /// The per-call [`MacContext`] view handed to a MAC entity.
-struct Ctx<'a> {
-    core: &'a mut WorldCore,
+struct Ctx<'a, Q: SimQueue<Ev>> {
+    core: &'a mut WorldCore<Q>,
     node: NodeId,
     /// The node's network layer, for on-demand neighbor queries. Most MAC
     /// callbacks never ask, so the (alloc + sort) of a fresh-neighbor
@@ -105,7 +221,7 @@ struct Ctx<'a> {
     outcomes: &'a mut Vec<(u64, TxOutcome)>,
 }
 
-impl MacContext for Ctx<'_> {
+impl<Q: SimQueue<Ev>> MacContext for Ctx<'_, Q> {
     fn now(&self) -> SimTime {
         self.core.q.now()
     }
@@ -194,8 +310,14 @@ struct FaultRt {
 }
 
 /// One assembled replication: node stacks plus the event loop.
-pub struct Runner {
-    core: WorldCore,
+///
+/// Generic over the queue implementation: the single-queue oracle is
+/// `Runner<EventQueue<Ev>>` (the default, and the only form the public
+/// constructors build), while the sharded engine instantiates per-group
+/// runners over [`ShardedQueue`]. Monomorphization keeps the oracle's hot
+/// loop exactly the pre-sharding machine code.
+pub struct Runner<Q: SimQueue<Ev> = EventQueue<Ev>> {
+    core: WorldCore<Q>,
     macs: Vec<Box<dyn MacService>>,
     nets: Vec<NetLayer>,
     cfg: ScenarioConfig,
@@ -207,9 +329,15 @@ pub struct Runner {
     /// Reused indication buffer for PHY dispatch (the event loop's hottest
     /// allocation without it).
     inds_scratch: Vec<Indication>,
+    /// Slot-ownership restriction when this runner drives one shard group
+    /// of a sharded replication; `None` for the whole-world oracle.
+    scope: Option<Scope>,
+    /// Precomputed beacon schedule replacing the live scheduler-stream
+    /// draws; `None` for the whole-world oracle.
+    beacon_plan: Option<BeaconPlan>,
 }
 
-impl Runner {
+impl Runner<EventQueue<Ev>> {
     /// Build a replication from a scenario, protocol and seed.
     pub fn new(cfg: &ScenarioConfig, protocol: Protocol, seed: u64) -> Runner {
         Runner::with_faults(cfg, protocol, seed, &FaultPlan::none())
@@ -227,26 +355,43 @@ impl Runner {
         seed: u64,
         plan: &FaultPlan,
     ) -> Runner {
+        Runner::assemble(
+            cfg,
+            protocol,
+            seed,
+            plan,
+            EventQueue::with_capacity,
+            None,
+            None,
+        )
+    }
+}
+
+impl Runner<ShardedQueue<Ev>> {
+    /// Cross-shard bus traffic of a sharded group runner:
+    /// `(cross_pushes, local_pushes)`.
+    pub(crate) fn bus_stats(&self) -> (u64, u64) {
+        (self.core.q.cross_pushes(), self.core.q.local_pushes())
+    }
+}
+
+impl<Q: SimQueue<Ev>> Runner<Q> {
+    /// Shared assembly behind [`Runner::with_faults`] and the sharded
+    /// engine's per-group runners: identical node-stack construction and
+    /// RNG stream derivation, parameterized over the queue implementation
+    /// (built by `make_q` from the pre-sizing capacity), the owned-slot
+    /// scope, and the beacon schedule source.
+    pub(crate) fn assemble(
+        cfg: &ScenarioConfig,
+        protocol: Protocol,
+        seed: u64,
+        plan: &FaultPlan,
+        make_q: impl FnOnce(usize) -> Q,
+        scope: Option<Scope>,
+        beacon_plan: Option<BeaconPlan>,
+    ) -> Runner<Q> {
         let master = SimRng::new(seed);
-        let mut place_rng = master.split(1);
-        let positions = cfg
-            .positions
-            .clone()
-            .unwrap_or_else(|| random_positions(cfg.nodes, cfg.bounds, &mut place_rng));
-        debug_assert_eq!(positions.len(), cfg.nodes, "position count mismatch");
-        let mut motions: Vec<Motion> = positions
-            .iter()
-            .enumerate()
-            .map(|(i, &p)| match cfg.mobility {
-                MobilityKind::Stationary => Motion::stationary(p),
-                kind => Motion::new(p, kind, cfg.bounds, master.split(1000 + i as u64)),
-            })
-            .collect();
-        // Jammers occupy extra channel slots past the protocol population;
-        // they carry no MAC or network entity and never move.
-        for j in &plan.jammers {
-            motions.push(Motion::stationary(Pos { x: j.x, y: j.y }));
-        }
+        let motions = build_motions(cfg, plan, &master);
         let node_slots = motions.len();
         let mut channel = Channel::new(
             ChannelConfig {
@@ -295,7 +440,7 @@ impl Runner {
         let queue_capacity = (node_slots * 64).max(4096);
         let mut runner = Runner {
             core: WorldCore {
-                q: EventQueue::with_capacity(queue_capacity),
+                q: make_q(queue_capacity),
                 channel,
                 chan_rng: master.split(2),
                 rngs,
@@ -324,11 +469,19 @@ impl Runner {
                 })
             },
             inds_scratch: Vec::new(),
+            scope,
+            beacon_plan,
         };
         if cfg.check {
             runner.set_check();
         }
         runner
+    }
+
+    /// Whether this runner owns channel slot `slot` (always true for the
+    /// whole-world oracle).
+    fn owns(&self, slot: usize) -> bool {
+        self.scope.as_ref().is_none_or(|s| s.owns(slot))
     }
 
     /// Attach an observer that sees every PHY indication, submission and
@@ -364,6 +517,15 @@ impl Runner {
         // C4 needs the MACs' transition matrices (same mechanism obs uses).
         for mac in self.macs.iter_mut() {
             mac.enable_transition_counting();
+        }
+    }
+
+    /// Attach the conformance checker if not already attached (idempotent;
+    /// the sharded engine's checked path and [`run_replication_checked`]
+    /// both want "checker on, whatever `cfg.check` said").
+    pub(crate) fn ensure_check(&mut self) {
+        if self.core.check.is_none() {
+            self.set_check();
         }
     }
 
@@ -446,9 +608,16 @@ impl Runner {
 
     /// Close out the attached checker: validate the end-of-run transition
     /// matrices (C4) and assemble the report.
-    fn finish_check(&mut self) -> Option<CheckReport> {
+    pub(crate) fn finish_check(&mut self) -> Option<CheckReport> {
         let mut check = self.core.check.take()?;
         for (i, mac) in self.macs.iter().enumerate() {
+            // A scoped runner validates only its owned nodes: the others'
+            // MACs exist (full-width vectors keep global node indexing)
+            // but never ran, and their empty matrices belong to the
+            // group that actually drove them.
+            if self.scope.as_ref().is_some_and(|s| !s.owns(i)) {
+                continue;
+            }
             if let Some((labels, matrix)) = mac.transitions() {
                 check.check_transitions(NodeId(i as u16), labels, &matrix);
             }
@@ -458,7 +627,7 @@ impl Runner {
 
     /// Panic with the full violation listing when an attached checker found
     /// any breach. No-op when detached (the common path) or clean.
-    fn assert_check_clean(&mut self) {
+    pub(crate) fn assert_check_clean(&mut self) {
         if let Some(report) = self.finish_check() {
             assert!(
                 report.is_clean(),
@@ -470,25 +639,40 @@ impl Runner {
         }
     }
 
-    fn run_loop(&mut self) {
+    pub(crate) fn run_loop(&mut self) {
         // Stagger the first beacons uniformly over one period so the
-        // network does not start in lockstep.
+        // network does not start in lockstep. A scoped (shard group)
+        // runner seeds only its owned slots, in the same global node
+        // order, with its stagger times read from the precomputed table —
+        // the restriction of the oracle's seeding to the group.
         for i in 0..self.cfg.nodes {
-            let jitter =
-                SimTime::from_nanos(self.sched_rng.below(self.cfg.beacon_period.nanos().max(1)));
-            self.core.q.push(
-                jitter,
-                Ev::Beacon {
-                    node: NodeId(i as u16),
-                },
-            );
+            let at = match &self.beacon_plan {
+                Some(plan) => plan.times[i][0],
+                None => {
+                    SimTime::from_nanos(self.sched_rng.below(self.cfg.beacon_period.nanos().max(1)))
+                }
+            };
+            if self.owns(i) {
+                self.core.q.push(
+                    at,
+                    Ev::Beacon {
+                        node: NodeId(i as u16),
+                    },
+                );
+            }
         }
-        self.core.q.push(self.cfg.warmup, Ev::Source);
+        if self.owns(0) {
+            self.core.q.push(self.cfg.warmup, Ev::Source);
+        }
         if let Some(f) = &self.faults {
             // Deaf/Mute churn is enforced purely at the PHY by the
             // injector; only full crashes need engine-side events.
+            let owned = self.scope.as_ref().map(|s| s.owned.as_slice());
             for c in &f.plan.churn {
                 if matches!(c.kind, ChurnKind::Crash) && (c.node as usize) < self.cfg.nodes {
+                    if owned.is_some_and(|o| !o[c.node as usize]) {
+                        continue;
+                    }
                     let node = NodeId(c.node);
                     self.core.q.push(
                         SimTime::from_millis(c.at_ms),
@@ -501,6 +685,9 @@ impl Runner {
                 }
             }
             for (j, spec) in f.plan.jammers.iter().enumerate() {
+                if owned.is_some_and(|o| !o[self.cfg.nodes + j]) {
+                    continue;
+                }
                 self.core.q.push(
                     SimTime::from_millis(spec.start_ms),
                     Ev::Fault(FaultEv::JamOn { jammer: j }),
@@ -661,10 +848,17 @@ impl Runner {
                     }
                 }
                 // Next beacon: the nominal period plus a little jitter so
-                // beacons never phase-lock with the data traffic.
-                let jitter = SimTime::from_nanos(self.sched_rng.below(10_000_000));
-                let next = self.cfg.beacon_period + jitter;
-                self.core.q.push_after(next, Ev::Beacon { node });
+                // beacons never phase-lock with the data traffic. With a
+                // beacon plan attached the jitter was pre-drawn into the
+                // timetable (same stream, same draw order, same values).
+                let next = match self.beacon_plan.as_mut() {
+                    Some(plan) => plan.next_fire(node, self.core.q.now()),
+                    None => {
+                        let jitter = SimTime::from_nanos(self.sched_rng.below(BEACON_JITTER_NS));
+                        self.core.q.now() + self.cfg.beacon_period + jitter
+                    }
+                };
+                self.core.q.push(next, Ev::Beacon { node });
             }
             Ev::Source => {
                 if self.packets_left == 0 {
@@ -1025,15 +1219,67 @@ impl Runner {
         })
     }
 
+    /// Strip the finished replication down to the state the report is
+    /// computed from. The harvest is partition-friendly: every field is
+    /// either per-node (merged by taking each node from its owner group),
+    /// a commutative sum, or a maximum — which is what lets the sharded
+    /// engine's merged report reproduce the oracle's bit-for-bit.
+    pub(crate) fn harvest(self) -> Harvest {
+        Harvest {
+            frames: self.core.channel.frame_tallies(),
+            faults_injected: self.core.channel.faults_injected(),
+            events: self.core.q.total_popped(),
+            now: self.core.q.now(),
+            packets_sent: self.cfg.packets - self.packets_left,
+            crashes: self.faults.as_ref().map_or(0, |f| f.crashes),
+            jam_bursts: self.faults.as_ref().map_or(0, |f| f.jam_bursts),
+            nets: self.nets,
+            counters: self.core.counters,
+        }
+    }
+
     fn collect(self, seed: u64) -> RunReport {
-        let cfg = &self.cfg;
-        let now = self.core.q.now();
+        let cfg = self.cfg.clone();
+        let protocol = self.protocol;
+        let harvest = self.harvest();
+        collect_report(&cfg, protocol, seed, &harvest)
+    }
+}
+
+/// The order-independent residue of a finished replication: everything
+/// [`collect_report`] needs, in a shape the sharded engine can merge from
+/// per-group runs (per-node vectors indexed by global node id, plus
+/// summable channel/fault tallies).
+pub(crate) struct Harvest {
+    pub(crate) nets: Vec<NetLayer>,
+    pub(crate) counters: Vec<MacCounters>,
+    pub(crate) frames: FrameTallies,
+    pub(crate) faults_injected: u64,
+    pub(crate) events: u64,
+    pub(crate) now: SimTime,
+    pub(crate) packets_sent: u64,
+    pub(crate) crashes: u64,
+    pub(crate) jam_bursts: u64,
+}
+
+/// Assemble a [`RunReport`] from a harvest. Factored out of the runner so
+/// the oracle and the sharded engine compute their reports through the
+/// same arithmetic, in the same global node order (float accumulation
+/// order is part of bit-identity).
+pub(crate) fn collect_report(
+    cfg: &ScenarioConfig,
+    protocol: Protocol,
+    seed: u64,
+    h: &Harvest,
+) -> RunReport {
+    {
+        let now = h.now;
         let n = cfg.nodes;
-        let packets_sent = cfg.packets - self.packets_left;
+        let packets_sent = h.packets_sent;
 
         let mut receptions = 0;
         let mut delays: Vec<f64> = Vec::new();
-        for (i, net) in self.nets.iter().enumerate() {
+        for (i, net) in h.nets.iter().enumerate() {
             if i != 0 {
                 receptions += net.stats().received;
             }
@@ -1041,7 +1287,7 @@ impl Runner {
         }
 
         let nonleaf: Vec<usize> = (0..n)
-            .filter(|&i| self.core.counters[i].reliable_accepted > 0)
+            .filter(|&i| h.counters[i].reliable_accepted > 0)
             .collect();
         let mean = |v: &[f64]| {
             if v.is_empty() {
@@ -1052,11 +1298,11 @@ impl Runner {
         };
         let drop_ratios: Vec<f64> = nonleaf
             .iter()
-            .map(|&i| self.core.counters[i].drop_ratio())
+            .map(|&i| h.counters[i].drop_ratio())
             .collect();
         let retx_ratios: Vec<f64> = nonleaf
             .iter()
-            .map(|&i| self.core.counters[i].retx_ratio())
+            .map(|&i| h.counters[i].retx_ratio())
             .collect();
         // R_txoh is reported as a ratio of sums over the non-leaf nodes
         // rather than a mean of per-node ratios: in a dynamic tree a node
@@ -1066,7 +1312,7 @@ impl Runner {
         // not produce them; the ratio of sums recovers the same "typical
         // overhead per unit of data air time" the paper plots.
         let (txoh_num, txoh_den) = nonleaf.iter().fold((0u64, 0u64), |(n, d), &i| {
-            let c = &self.core.counters[i];
+            let c = &h.counters[i];
             (
                 n + (c.ctrl_airtime + c.abt_check_time).nanos(),
                 d + c.reliable_data_airtime.nanos(),
@@ -1079,32 +1325,32 @@ impl Runner {
         };
         let abort_ratios: Vec<f64> = nonleaf
             .iter()
-            .map(|&i| self.core.counters[i].abort_ratio())
+            .map(|&i| h.counters[i].abort_ratio())
             .collect();
 
         let mut mrts_lengths: Vec<f64> = Vec::new();
-        for c in &self.core.counters {
+        for c in &h.counters {
             mrts_lengths.extend(c.mrts_lengths.iter().map(|&l| l as f64));
         }
 
         // Tree statistics at end of run (§4.1.1's Fig. 6 numbers).
-        let hops: Vec<f64> = self
+        let hops: Vec<f64> = h
             .nets
             .iter()
             .enumerate()
             .filter(|(i, net)| *i != 0 && net.bless().hops() != u32::MAX)
             .map(|(_, net)| net.bless().hops() as f64)
             .collect();
-        let children: Vec<f64> = self
+        let children: Vec<f64> = h
             .nets
             .iter()
             .map(|net| net.children(now).len() as f64)
             .filter(|&c| c > 0.0)
             .collect();
-        let frames = self.core.channel.frame_tallies();
+        let frames = h.frames;
 
         RunReport {
-            protocol: self.protocol.label().to_string(),
+            protocol: protocol.label().to_string(),
             scenario: cfg.name.clone(),
             rate_pps: cfg.rate_pps,
             seed,
@@ -1127,15 +1373,15 @@ impl Runner {
             hops_p99: percentile(&hops, 99.0),
             children_avg: mean(&children),
             children_p99: percentile(&children, 99.0),
-            events: self.core.q.total_popped(),
+            events: h.events,
             tx_frames: frames.tx_frames,
             tx_aborted: frames.tx_aborted,
             rx_frames_ok: frames.rx_ok,
             rx_frames_corrupt: frames.rx_corrupt,
             sim_secs: now.as_secs_f64(),
-            faults_injected: self.core.channel.faults_injected(),
-            fault_crashes: self.faults.as_ref().map_or(0, |f| f.crashes),
-            fault_jam_bursts: self.faults.as_ref().map_or(0, |f| f.jam_bursts),
+            faults_injected: h.faults_injected,
+            fault_crashes: h.crashes,
+            fault_jam_bursts: h.jam_bursts,
         }
     }
 }
@@ -1168,9 +1414,7 @@ pub fn run_replication_checked(
     plan: &FaultPlan,
 ) -> (RunReport, CheckReport) {
     let mut runner = Runner::with_faults(cfg, protocol, seed, plan);
-    if runner.core.check.is_none() {
-        runner.set_check();
-    }
+    runner.ensure_check();
     runner.run_checked(seed)
 }
 

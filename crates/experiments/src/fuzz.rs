@@ -15,7 +15,9 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 
 use rmac_core::testkit::fuzz::{FuzzProtocol, FuzzScenario, FuzzTopology};
-use rmac_engine::{run_replication_checked, CheckReport, Protocol, ScenarioConfig};
+use rmac_engine::{
+    run_replication_checked, run_replication_sharded_checked, CheckReport, Protocol, ScenarioConfig,
+};
 use rmac_faults::{BurstySpec, ChurnKind, ChurnSpec, FaultPlan, JamTarget, JammerSpec, SkewSpec};
 use rmac_mobility::{Bounds, Pos};
 use rmac_sim::SimTime;
@@ -29,6 +31,10 @@ pub enum CaseOutcome {
     Violations(CheckReport),
     /// The stack itself panicked (an engine/MAC bug, also a finding).
     Panicked(String),
+    /// The sharded engine's report diverged from the single-queue oracle
+    /// — a conservative-sync ordering bug, the fuzzer's rarest and most
+    /// valuable catch.
+    ShardDivergence { shards: usize },
 }
 
 impl CaseOutcome {
@@ -42,6 +48,7 @@ impl CaseOutcome {
                 r.violations.first().map(|v| v.invariant.id().to_string())
             }
             CaseOutcome::Panicked(_) => Some("PANIC".to_string()),
+            CaseOutcome::ShardDivergence { .. } => Some("SHARD_DIVERGENCE".to_string()),
         }
     }
 
@@ -51,6 +58,9 @@ impl CaseOutcome {
             CaseOutcome::Clean => "clean".to_string(),
             CaseOutcome::Violations(r) => r.summary(),
             CaseOutcome::Panicked(msg) => format!("panic: {msg}"),
+            CaseOutcome::ShardDivergence { shards } => {
+                format!("sharded report (shards={shards}) diverged from the single-queue oracle")
+            }
         }
     }
 }
@@ -77,6 +87,7 @@ pub fn materialize(fs: &FuzzScenario) -> (ScenarioConfig, Protocol, FaultPlan) {
     cfg.payload = fs.payload;
     cfg.warmup = SimTime::from_secs(2);
     cfg.drain = SimTime::from_secs(3);
+    cfg.shards = fs.shards.max(1);
 
     let nodes = fs.nodes() as u16;
     let jam_pos = match fs.topology {
@@ -141,16 +152,31 @@ pub fn materialize(fs: &FuzzScenario) -> (ScenarioConfig, Protocol, FaultPlan) {
     (cfg, protocol, plan)
 }
 
-/// Run one fuzz case under the conformance checker. Panics anywhere in
-/// the stack become [`CaseOutcome::Panicked`] findings.
+/// Run one fuzz case under the conformance checker — through the
+/// single-queue oracle *and* the sharded engine at the case's shard
+/// count, with the C1–C5 invariants checked on every shard group. Panics
+/// anywhere in the stack become [`CaseOutcome::Panicked`] findings; a
+/// sharded/oracle report mismatch becomes a
+/// [`CaseOutcome::ShardDivergence`] finding.
 pub fn run_case(fs: &FuzzScenario, seed: u64) -> CaseOutcome {
     let (cfg, protocol, plan) = materialize(fs);
     let result = catch_unwind(AssertUnwindSafe(|| {
-        run_replication_checked(&cfg, protocol, seed, &plan)
+        let oracle = run_replication_checked(&cfg, protocol, seed, &plan);
+        let sharded = run_replication_sharded_checked(&cfg, protocol, seed, &plan);
+        (oracle, sharded)
     }));
     match result {
-        Ok((_, check)) if check.is_clean() => CaseOutcome::Clean,
-        Ok((_, check)) => CaseOutcome::Violations(check),
+        Ok(((oracle_report, check), (sharded_report, sharded_check))) => {
+            if !check.is_clean() {
+                CaseOutcome::Violations(check)
+            } else if !sharded_check.is_clean() {
+                CaseOutcome::Violations(sharded_check)
+            } else if sharded_report != oracle_report {
+                CaseOutcome::ShardDivergence { shards: cfg.shards }
+            } else {
+                CaseOutcome::Clean
+            }
+        }
         Err(payload) => {
             let msg = payload
                 .downcast_ref::<&str>()
@@ -213,6 +239,14 @@ fn reductions(fs: &FuzzScenario) -> Vec<FuzzScenario> {
     if fs.payload > 50 {
         let mut c = fs.clone();
         c.payload = 50;
+        out.push(c);
+    }
+    // Halve the shard count so reproducers carry the smallest partition
+    // that still fails (a SHARD_DIVERGENCE at shards=2 is a far tighter
+    // repro than one at shards=8).
+    if fs.shards > 1 {
+        let mut c = fs.clone();
+        c.shards /= 2;
         out.push(c);
     }
     out
@@ -282,6 +316,7 @@ pub fn repro_json(fs: &FuzzScenario, seed: u64, signature: &str, detail: &str) -
             "  \"rate_pps\": {},\n",
             "  \"packets\": {},\n",
             "  \"payload\": {},\n",
+            "  \"shards\": {},\n",
             "  \"fault_plan\": {},\n",
             "  \"detail\": \"{}\"\n",
             "}}\n"
@@ -294,6 +329,7 @@ pub fn repro_json(fs: &FuzzScenario, seed: u64, signature: &str, detail: &str) -
         fs.rate_pps,
         fs.packets,
         fs.payload,
+        fs.shards,
         plan.to_json(),
         json_escape(detail),
     )
@@ -338,6 +374,7 @@ mod tests {
                 jam: None,
                 skew: vec![(1, 80.0)],
             },
+            shards: 2,
         }
     }
 

@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 
 use rmac_mobility::{Motion, Pos};
-use rmac_sim::{EventQueue, SimRng, SimTime};
+use rmac_sim::{SimQueue, SimRng, SimTime};
 use rmac_wire::consts::SPEED_OF_LIGHT;
 use rmac_wire::{Frame, NodeId};
 
@@ -374,7 +374,7 @@ impl Channel {
     /// Panics if `src` is already transmitting (a MAC state-machine bug).
     pub fn start_tx<E: From<PhyEvent>>(
         &mut self,
-        q: &mut EventQueue<E>,
+        q: &mut impl SimQueue<E>,
         src: NodeId,
         frame: Frame,
     ) -> TxId {
@@ -423,7 +423,7 @@ impl Channel {
     /// Abort `src`'s in-flight transmission right now (RMAC step 3 of
     /// §3.3.2: a node transmitting an MRTS that senses an RBT must abort).
     /// Receivers experience the truncated signal as a corrupted frame.
-    pub fn abort_tx<E: From<PhyEvent>>(&mut self, q: &mut EventQueue<E>, src: NodeId) {
+    pub fn abort_tx<E: From<PhyEvent>>(&mut self, q: &mut impl SimQueue<E>, src: NodeId) {
         let now = q.now();
         let id = self.radios[src.idx()]
             .transmitting
@@ -448,7 +448,7 @@ impl Channel {
     /// propagation delay. No-op if the tone is already raised.
     pub fn start_tone<E: From<PhyEvent>>(
         &mut self,
-        q: &mut EventQueue<E>,
+        q: &mut impl SimQueue<E>,
         src: NodeId,
         tone: Tone,
     ) {
@@ -491,7 +491,12 @@ impl Channel {
     /// rising edge sense the falling edge (the audibility set is fixed at
     /// tone onset — tones are short relative to node motion). No-op if the
     /// tone is not raised.
-    pub fn stop_tone<E: From<PhyEvent>>(&mut self, q: &mut EventQueue<E>, src: NodeId, tone: Tone) {
+    pub fn stop_tone<E: From<PhyEvent>>(
+        &mut self,
+        q: &mut impl SimQueue<E>,
+        src: NodeId,
+        tone: Tone,
+    ) {
         let Some(id) = self.radios[src.idx()].emitting[tone.idx()].take() else {
             return;
         };
@@ -798,7 +803,7 @@ mod tests {
     use bytes::Bytes;
     use rmac_wire::{Dest, FrameKind};
 
-    type Q = EventQueue<PhyEvent>;
+    type Q = rmac_sim::EventQueue<PhyEvent>;
 
     fn n(i: u16) -> NodeId {
         NodeId(i)
@@ -1301,7 +1306,7 @@ mod edge_tests {
     use bytes::Bytes;
     use rmac_wire::Dest;
 
-    type Q = EventQueue<PhyEvent>;
+    type Q = rmac_sim::EventQueue<PhyEvent>;
 
     fn n(i: u16) -> NodeId {
         NodeId(i)

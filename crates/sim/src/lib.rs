@@ -10,17 +10,21 @@
 //! * [`rng`] — seedable, splittable random number generation so that every
 //!   replication is reproducible from a single `u64` seed.
 //!
-//! The kernel is intentionally single-threaded: wireless MAC simulations are
-//! dominated by fine-grained causally-ordered events, so parallelism is
-//! applied *across* independent replications (see `rmac-experiments`), never
-//! within one.
+//! The kernel dispatches each causally-coupled region single-threaded:
+//! wireless MAC simulations are dominated by fine-grained causally-ordered
+//! events, so parallelism is applied across independent replications (see
+//! `rmac-experiments`) and across radio-isolated shard groups (see
+//! [`ShardedQueue`] and the engine's conservative-sync scheduler), never
+//! within one coupled region.
 
 pub mod queue;
 pub mod rng;
+pub mod shard;
 pub mod time;
 pub mod timer;
 
 pub use queue::EventQueue;
 pub use rng::SimRng;
+pub use shard::{ShardedQueue, SimQueue};
 pub use time::SimTime;
 pub use timer::TimerSlot;

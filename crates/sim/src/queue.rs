@@ -136,6 +136,42 @@ impl<E> EventQueue<E> {
         self.push(self.now + delay, event);
     }
 
+    /// Schedule `event` at `at` with a caller-supplied tie-break sequence
+    /// number.
+    ///
+    /// This is the [`crate::ShardedQueue`] entry point: when one logical
+    /// queue is partitioned across shards, the *shared* sequence counter
+    /// lives in the sharded front-end so that simultaneous events keep one
+    /// global FIFO order no matter which sub-queue they land in. Callers
+    /// must not mix this with [`EventQueue::push`] on the same queue — the
+    /// internal counter would collide with the external one.
+    pub fn push_with_seq(&mut self, at: SimTime, seq: u64, event: E) {
+        debug_assert!(
+            at >= self.now,
+            "event scheduled in the past: at={at} now={now}",
+            at = at,
+            now = self.now
+        );
+        let at = at.max(self.now);
+        self.pushed += 1;
+        self.heap.push(Entry {
+            time: at,
+            seq,
+            event,
+        });
+        if self.heap.len() > self.high_water {
+            self.high_water = self.heap.len();
+        }
+    }
+
+    /// The `(time, seq)` key of the earliest pending event, if any. The
+    /// sharded scheduler compares keys across sub-queues to find the
+    /// globally earliest event.
+    #[inline]
+    pub fn peek_key(&self) -> Option<(SimTime, u64)> {
+        self.heap.peek().map(|e| (e.time, e.seq))
+    }
+
     /// Pop the earliest event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         let entry = self.heap.pop()?;

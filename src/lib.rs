@@ -36,8 +36,10 @@ pub use rmac_wire as wire;
 pub mod prelude {
     pub use rmac_check::{CheckReport, Invariant};
     pub use rmac_engine::{
-        run_replication, run_replication_checked, run_replication_with_faults, ObsConfig, Protocol,
-        Runner, ScenarioConfig, TraceLevel,
+        run_replication, run_replication_checked, run_replication_sharded,
+        run_replication_sharded_checked, run_replication_sharded_with_faults,
+        run_replication_with_faults, ObsConfig, Protocol, Runner, ScenarioConfig, ShardedRunner,
+        TraceLevel,
     };
     pub use rmac_faults::FaultPlan;
     pub use rmac_metrics::report::RunReport;

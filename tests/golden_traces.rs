@@ -20,21 +20,22 @@
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 
-use rmac::engine::{filter_tracer, Runner, TraceLevel, Tracer};
+use rmac::engine::{filter_tracer, Runner, ShardedRunner, TraceLevel, Tracer};
 use rmac::faults::{JamTarget, JammerSpec};
 use rmac::mobility::Pos;
 use rmac::prelude::*;
 use rmac::sim::SimTime;
 
-/// Run one replication with the conformance checker on and a frame-level
-/// tracer attached; return the JSONL trace as one string.
-fn capture(cfg: &ScenarioConfig, protocol: Protocol, seed: u64, plan: &FaultPlan) -> String {
+/// Collect a frame-level JSONL trace from any runner shape through one
+/// shared sink.
+fn frame_sink() -> (Arc<Mutex<Vec<String>>>, Tracer) {
     let lines: Arc<Mutex<Vec<String>>> = Arc::default();
     let sink = Arc::clone(&lines);
     let inner: Tracer = Box::new(move |e| sink.lock().expect("trace sink").push(e.to_json()));
-    let mut runner = Runner::with_faults(cfg, protocol, seed, plan);
-    runner.set_tracer(filter_tracer(TraceLevel::Frames, inner));
-    let _ = runner.run(seed);
+    (lines, filter_tracer(TraceLevel::Frames, inner))
+}
+
+fn drain_sink(lines: Arc<Mutex<Vec<String>>>) -> String {
     let lines = lines.lock().expect("trace sink");
     let mut out = String::with_capacity(lines.iter().map(|l| l.len() + 1).sum());
     for l in lines.iter() {
@@ -42,6 +43,32 @@ fn capture(cfg: &ScenarioConfig, protocol: Protocol, seed: u64, plan: &FaultPlan
         out.push('\n');
     }
     out
+}
+
+/// Run one replication with the conformance checker on and a frame-level
+/// tracer attached; return the JSONL trace as one string.
+fn capture(cfg: &ScenarioConfig, protocol: Protocol, seed: u64, plan: &FaultPlan) -> String {
+    let (lines, tracer) = frame_sink();
+    let mut runner = Runner::with_faults(cfg, protocol, seed, plan);
+    runner.set_tracer(tracer);
+    let _ = runner.run(seed);
+    drain_sink(lines)
+}
+
+/// Same capture through the sharded engine at the given shard count.
+fn capture_sharded(
+    cfg: &ScenarioConfig,
+    protocol: Protocol,
+    seed: u64,
+    plan: &FaultPlan,
+    shards: usize,
+) -> String {
+    let (lines, tracer) = frame_sink();
+    let mut runner =
+        ShardedRunner::with_faults(&cfg.clone().with_shards(shards), protocol, seed, plan);
+    runner.set_tracer(tracer);
+    let _ = runner.run();
+    drain_sink(lines)
 }
 
 fn golden_path(name: &str) -> PathBuf {
@@ -95,11 +122,11 @@ fn trim(mut cfg: ScenarioConfig, name: &str) -> ScenarioConfig {
     cfg.with_check()
 }
 
-/// Fig. 4's shape at golden fidelity: one sender multicasting to three
-/// in-range receivers — MRTS, RBT window, reliable data, ordered ABTs.
-#[test]
-fn golden_one_hop_multicast() {
-    let cfg = trim(
+/// The three canonical golden scenarios: (golden file, scenario, seed,
+/// fault plan). Shared by the oracle regression tests and the sharded
+/// replay matrix.
+fn golden_scenarios() -> Vec<(&'static str, ScenarioConfig, u64, FaultPlan)> {
+    let one_hop = trim(
         ScenarioConfig::paper_stationary(5.0)
             .with_packets(3)
             .with_positions(vec![
@@ -110,20 +137,7 @@ fn golden_one_hop_multicast() {
             ]),
         "golden-one-hop",
     );
-    let trace = capture(&cfg, Protocol::Rmac, 7, &FaultPlan::none());
-    assert!(
-        trace.contains("\"kind\":\"Mrts\"") && trace.contains("\"kind\":\"DataReliable\""),
-        "trace lost the MRTS/data exchange"
-    );
-    assert_golden("one_hop_multicast.jsonl", &trace);
-}
-
-/// The classic hidden-terminal line: 0 and 2 are out of range of each
-/// other, both in range of 1. The trace pins how RMAC's busy tones
-/// arbitrate the middle node.
-#[test]
-fn golden_hidden_terminal_chain() {
-    let cfg = trim(
+    let hidden = trim(
         ScenarioConfig::paper_stationary(10.0)
             .with_packets(3)
             .with_positions(vec![
@@ -133,15 +147,7 @@ fn golden_hidden_terminal_chain() {
             ]),
         "golden-hidden-terminal",
     );
-    let trace = capture(&cfg, Protocol::Rmac, 11, &FaultPlan::none());
-    assert_golden("hidden_terminal.jsonl", &trace);
-}
-
-/// An RBT jammer parked next to a one-hop multicast: the trace pins both
-/// the jam bursts (fault events) and the MAC's deferrals under them.
-#[test]
-fn golden_tone_jam() {
-    let cfg = trim(
+    let jam_cfg = trim(
         ScenarioConfig::paper_stationary(5.0)
             .with_packets(3)
             .with_positions(vec![
@@ -151,7 +157,7 @@ fn golden_tone_jam() {
             ]),
         "golden-tone-jam",
     );
-    let plan = FaultPlan {
+    let jam_plan = FaultPlan {
         jammers: vec![JammerSpec {
             x: 30.0,
             y: 30.0,
@@ -162,10 +168,74 @@ fn golden_tone_jam() {
         }],
         ..FaultPlan::none()
     };
-    let trace = capture(&cfg, Protocol::Rmac, 13, &plan);
+    vec![
+        ("one_hop_multicast.jsonl", one_hop, 7, FaultPlan::none()),
+        ("hidden_terminal.jsonl", hidden, 11, FaultPlan::none()),
+        ("tone_jam.jsonl", jam_cfg, 13, jam_plan),
+    ]
+}
+
+/// Fig. 4's shape at golden fidelity: one sender multicasting to three
+/// in-range receivers — MRTS, RBT window, reliable data, ordered ABTs.
+#[test]
+fn golden_one_hop_multicast() {
+    let (name, cfg, seed, plan) = golden_scenarios().swap_remove(0);
+    let trace = capture(&cfg, Protocol::Rmac, seed, &plan);
+    assert!(
+        trace.contains("\"kind\":\"Mrts\"") && trace.contains("\"kind\":\"DataReliable\""),
+        "trace lost the MRTS/data exchange"
+    );
+    assert_golden(name, &trace);
+}
+
+/// The classic hidden-terminal line: 0 and 2 are out of range of each
+/// other, both in range of 1. The trace pins how RMAC's busy tones
+/// arbitrate the middle node.
+#[test]
+fn golden_hidden_terminal_chain() {
+    let (name, cfg, seed, plan) = golden_scenarios().swap_remove(1);
+    let trace = capture(&cfg, Protocol::Rmac, seed, &plan);
+    assert_golden(name, &trace);
+}
+
+/// An RBT jammer parked next to a one-hop multicast: the trace pins both
+/// the jam bursts (fault events) and the MAC's deferrals under them.
+#[test]
+fn golden_tone_jam() {
+    let (name, cfg, seed, plan) = golden_scenarios().swap_remove(2);
+    let trace = capture(&cfg, Protocol::Rmac, seed, &plan);
     assert!(
         trace.contains("\"ev\":\"fault\""),
         "trace lost the jam bursts"
     );
-    assert_golden("tone_jam.jsonl", &trace);
+    assert_golden(name, &trace);
+}
+
+/// The sharded engine's trace contract: every golden scenario replays
+/// **byte-stable** under shards ∈ {1, 2, 4, 8}. Traces are compared both
+/// against a fresh oracle capture (the live contract) and against the
+/// committed golden file (so a simultaneous oracle+sharded drift cannot
+/// slip through). Tracing forces deterministic serial emission inside the
+/// sharded engine, which is exactly what this matrix pins.
+#[test]
+fn golden_traces_replay_byte_stable_under_sharding() {
+    let regen = std::env::var("RMAC_REGEN_GOLDEN").ok().as_deref() == Some("1");
+    for (name, cfg, seed, plan) in golden_scenarios() {
+        let oracle = capture(&cfg, Protocol::Rmac, seed, &plan);
+        for shards in [1usize, 2, 4, 8] {
+            let sharded = capture_sharded(&cfg, Protocol::Rmac, seed, &plan, shards);
+            assert_eq!(
+                sharded, oracle,
+                "{name}: sharded trace diverged from the oracle at shards={shards}"
+            );
+        }
+        if !regen {
+            let committed = std::fs::read_to_string(golden_path(name))
+                .unwrap_or_else(|e| panic!("missing golden file {name} ({e})"));
+            assert_eq!(
+                oracle, committed,
+                "{name}: capture diverged from the committed golden"
+            );
+        }
+    }
 }

@@ -1,0 +1,181 @@
+//! The sharded engine's determinism contract (property-based).
+//!
+//! For any scenario kind, node count, source rate, fault plan and seed,
+//! running under the sharded conservative-sync engine at 2/4/8 shards is
+//! **bit-identical** — every `RunReport` field, including the processed
+//! event count — to the single-queue oracle. Same pattern as
+//! `tests/grid_equivalence.rs`: the oracle is the brute-force ground
+//! truth, the optimised path must be observationally invisible.
+
+use proptest::prelude::*;
+use rmac::faults::{ChurnKind, ChurnSpec, FaultPlan, JamTarget, JammerSpec, SkewSpec};
+use rmac::mobility::Bounds;
+use rmac::prelude::*;
+
+/// Random small-but-live scenarios over all three mobility kinds, on a
+/// dense plane so every protocol phase (contention, tones, retries,
+/// forwarding) actually fires.
+fn any_cfg() -> impl Strategy<Value = ScenarioConfig> {
+    (
+        0usize..3,
+        5usize..22,
+        50u64..400, // 5..40 pkt/s, scaled by 10
+        4u64..16,
+    )
+        .prop_map(|(scenario, nodes, rate_x10, packets)| {
+            let rate = rate_x10 as f64 / 10.0;
+            let mut cfg = match scenario {
+                0 => ScenarioConfig::paper_stationary(rate),
+                1 => ScenarioConfig::paper_speed1(rate),
+                _ => ScenarioConfig::paper_speed2(rate),
+            }
+            .with_nodes(nodes)
+            .with_packets(packets);
+            cfg.bounds = Bounds::new(150.0, 120.0);
+            cfg
+        })
+}
+
+/// A fault plan drawing from every class the plane supports (or none).
+fn any_plan() -> impl Strategy<Value = FaultPlan> {
+    prop_oneof![
+        Just(FaultPlan::none()),
+        (0u16..8, 500u64..2_000, 500u64..2_000).prop_map(|(node, at_ms, for_ms)| {
+            FaultPlan::none().with_churn(ChurnSpec {
+                node,
+                kind: ChurnKind::Crash,
+                at_ms,
+                for_ms,
+            })
+        }),
+        (0.0..150.0f64, 0.0..120.0f64, 0usize..2, 500u64..1_500).prop_map(
+            |(x, y, target, start_ms)| {
+                FaultPlan::none().with_jammer(JammerSpec {
+                    x,
+                    y,
+                    target: if target == 0 {
+                        JamTarget::Rbt
+                    } else {
+                        JamTarget::Data
+                    },
+                    start_ms,
+                    period_ms: 300,
+                    burst_ms: 25,
+                })
+            }
+        ),
+        (0u16..8, -200.0..200.0f64)
+            .prop_map(|(node, ppm)| { FaultPlan::none().with_skew(SkewSpec { node, ppm }) }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The tentpole contract: sharded (2/4/8) ≡ single-shard ≡ oracle,
+    /// field for field, under random scenarios and fault plans. The
+    /// oracle side carries the conformance checker so every generated
+    /// case is also invariant-clean.
+    #[test]
+    fn sharded_replication_is_bit_identical(
+        cfg in any_cfg(),
+        plan in any_plan(),
+        seed in 0u64..10_000,
+    ) {
+        let oracle = run_replication_with_faults(
+            &cfg.clone().with_check(),
+            Protocol::Rmac,
+            seed,
+            &plan,
+        );
+        for shards in [1usize, 2, 4, 8] {
+            let sharded = run_replication_sharded_with_faults(
+                &cfg.clone().with_shards(shards),
+                Protocol::Rmac,
+                seed,
+                &plan,
+            );
+            // RunReport equality covers every field, including the
+            // processed-event count (`events`).
+            prop_assert_eq!(&sharded, &oracle, "shards={}", shards);
+            prop_assert_eq!(sharded.events, oracle.events, "event count, shards={}", shards);
+        }
+    }
+
+    /// The baseline protocols ride the same engine: spot-check BMW-like
+    /// contention under sharding too.
+    #[test]
+    fn sharded_baseline_is_bit_identical(
+        nodes in 5usize..18,
+        packets in 4u64..12,
+        seed in 0u64..10_000,
+    ) {
+        let mut cfg = ScenarioConfig::paper_stationary(10.0)
+            .with_nodes(nodes)
+            .with_packets(packets);
+        cfg.bounds = Bounds::new(150.0, 120.0);
+        let oracle = run_replication(&cfg, Protocol::Bmmm, seed);
+        for shards in [2usize, 8] {
+            let sharded = run_replication_sharded(
+                &cfg.clone().with_shards(shards),
+                Protocol::Bmmm,
+                seed,
+            );
+            prop_assert_eq!(&sharded, &oracle, "shards={}", shards);
+        }
+    }
+
+    /// The checked entry point merges per-group conformance reports; the
+    /// merged gate counters must match the oracle checker's exactly.
+    #[test]
+    fn sharded_check_gates_match_oracle(
+        cfg in any_cfg(),
+        seed in 0u64..10_000,
+    ) {
+        let (oracle_report, oracle_check) =
+            run_replication_checked(&cfg, Protocol::Rmac, seed, &FaultPlan::none());
+        let (report, check) = run_replication_sharded_checked(
+            &cfg.clone().with_shards(4),
+            Protocol::Rmac,
+            seed,
+            &FaultPlan::none(),
+        );
+        prop_assert_eq!(&report, &oracle_report);
+        prop_assert!(check.is_clean());
+        prop_assert_eq!(check.tx_checked, oracle_check.tx_checked);
+        prop_assert_eq!(check.rx_ok_checked, oracle_check.rx_ok_checked);
+        prop_assert_eq!(check.tone_emissions, oracle_check.tone_emissions);
+        prop_assert_eq!(check.transition_nodes, oracle_check.transition_nodes);
+    }
+}
+
+/// A deliberately decoupled layout — two dense clusters far outside radio
+/// range — must decompose into parallel groups *and* still match the
+/// oracle bit for bit. This is the case where the engine actually runs
+/// multi-threaded, so it guards the merge path specifically.
+#[test]
+fn decoupled_clusters_run_parallel_and_match() {
+    use rmac::mobility::Pos;
+    let mut positions = Vec::new();
+    for i in 0..12 {
+        // Cluster A in stripe 0, cluster B in stripe 3 (width 1000, 4
+        // shards → stripes of 250 m; 75 m radio cannot bridge the gap).
+        let (cx, cy) = ((i % 4) as f64 * 30.0, (i / 4) as f64 * 30.0);
+        positions.push(Pos::new(cx + 10.0, cy + 10.0));
+        positions.push(Pos::new(cx + 910.0, cy + 10.0));
+    }
+    let mut cfg = ScenarioConfig::paper_stationary(10.0)
+        .with_nodes(positions.len())
+        .with_packets(8)
+        .with_positions(positions);
+    cfg.bounds = Bounds::new(1_000.0, 100.0);
+    let oracle = run_replication(&cfg, Protocol::Rmac, 3);
+    let (report, stats) =
+        ShardedRunner::new(&cfg.clone().with_shards(4), Protocol::Rmac, 3).run_with_stats();
+    assert_eq!(report, oracle);
+    assert!(
+        stats.groups >= 2,
+        "expected radio-isolated clusters to decompose ({} groups)",
+        stats.groups
+    );
+}
