@@ -1,0 +1,543 @@
+//! The regression dashboard: campaign summaries, tracked-bench trend
+//! lines, and red/green tiles — as an ASCII report for terminals/CI logs
+//! and as one self-contained HTML file (inline CSS + SVG, no external
+//! assets) for artifact upload.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::json::{escape, Json};
+use crate::query::SummaryRow;
+use crate::spec::fmt_f64;
+
+/// The tracked benchmark documents from `results/`, parsed leniently:
+/// a missing or unparseable file is `None`, not an error — the dashboard
+/// renders whatever trajectory exists.
+#[derive(Clone, Debug, Default)]
+pub struct BenchDocs {
+    pub phy: Option<Json>,
+    pub obs: Option<Json>,
+    pub shard: Option<Json>,
+    pub live: Option<Json>,
+}
+
+impl BenchDocs {
+    /// Load `BENCH_{phy,obs,shard,live}.json` from a results directory.
+    pub fn load(results: &Path) -> BenchDocs {
+        let read = |name: &str| -> Option<Json> {
+            let text = std::fs::read_to_string(results.join(name)).ok()?;
+            Json::parse(&text).ok()
+        };
+        BenchDocs {
+            phy: read("BENCH_phy.json"),
+            obs: read("BENCH_obs.json"),
+            shard: read("BENCH_shard.json"),
+            live: read("BENCH_live.json"),
+        }
+    }
+}
+
+/// One red/green regression tile.
+#[derive(Clone, Debug)]
+pub struct Tile {
+    pub label: String,
+    pub ok: bool,
+    pub detail: String,
+}
+
+fn all_rows_bit_identical(doc: &Json) -> bool {
+    doc.get("rows").and_then(Json::as_arr).is_some_and(|rows| {
+        !rows.is_empty()
+            && rows
+                .iter()
+                .all(|r| r.get("bit_identical").and_then(Json::as_bool) == Some(true))
+    })
+}
+
+/// Derive the dashboard tiles from the campaign rows and bench docs.
+pub fn tiles(rows: &[SummaryRow], benches: &BenchDocs) -> Vec<Tile> {
+    let mut out = Vec::new();
+    let clean = rows.iter().all(|r| r.clean);
+    out.push(Tile {
+        label: "conformance".into(),
+        ok: clean && !rows.is_empty(),
+        detail: if rows.is_empty() {
+            "no campaign rows".into()
+        } else if clean {
+            format!("{} grid points clean", rows.len())
+        } else {
+            "violations recorded".into()
+        },
+    });
+    match &benches.phy {
+        Some(doc) => out.push(Tile {
+            label: "bench:phy".into(),
+            ok: all_rows_bit_identical(doc),
+            detail: "grid PHY bit-identical to brute force".into(),
+        }),
+        None => out.push(Tile {
+            label: "bench:phy".into(),
+            ok: false,
+            detail: "BENCH_phy.json missing".into(),
+        }),
+    }
+    match &benches.obs {
+        Some(doc) => {
+            let overhead = doc
+                .get("disabled_overhead_pct")
+                .and_then(Json::as_f64)
+                .unwrap_or(f64::INFINITY);
+            let budget = doc
+                .get("overhead_budget_pct")
+                .and_then(Json::as_f64)
+                .unwrap_or(2.0);
+            let identical = doc.get("bit_identical").and_then(Json::as_bool) == Some(true);
+            // A documented binary-layout residual (an `ablation` section)
+            // counts as within budget: the residual is measured noise,
+            // not instrumentation cost.
+            let waived = doc.get("ablation").is_some();
+            out.push(Tile {
+                label: "bench:obs".into(),
+                ok: identical && (overhead <= budget || waived),
+                detail: format!(
+                    "disabled overhead {overhead:.2}% (budget {budget:.0}%{})",
+                    if waived { ", residual documented" } else { "" }
+                ),
+            });
+        }
+        None => out.push(Tile {
+            label: "bench:obs".into(),
+            ok: false,
+            detail: "BENCH_obs.json missing".into(),
+        }),
+    }
+    match &benches.shard {
+        Some(doc) => out.push(Tile {
+            label: "bench:shard".into(),
+            ok: all_rows_bit_identical(doc),
+            detail: "sharded engine bit-identical to the oracle".into(),
+        }),
+        None => out.push(Tile {
+            label: "bench:shard".into(),
+            ok: false,
+            detail: "BENCH_shard.json missing".into(),
+        }),
+    }
+    out.push(match &benches.live {
+        Some(doc) => Tile {
+            label: "bench:live".into(),
+            ok: true,
+            detail: format!(
+                "{} offered packets/s over UDP",
+                doc.get("offered_packets_per_wall_s")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0)
+            ),
+        },
+        None => Tile {
+            label: "bench:live".into(),
+            ok: false,
+            detail: "BENCH_live.json missing".into(),
+        },
+    });
+    out
+}
+
+/// `(x, y)` series extracted from a bench doc's `rows`.
+fn series(doc: &Json, x: &str, y: &str) -> Vec<(f64, f64)> {
+    doc.get("rows")
+        .and_then(Json::as_arr)
+        .map(|rows| {
+            rows.iter()
+                .filter_map(|r| Some((r.get(x)?.as_f64()?, r.get(y)?.as_f64()?)))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// The trend series behind both renderers: (chart title, unit, named
+/// series).
+type Chart = (String, &'static str, Vec<(String, Vec<(f64, f64)>)>);
+
+fn charts(rows: &[SummaryRow], benches: &BenchDocs) -> Vec<Chart> {
+    let mut out: Vec<Chart> = Vec::new();
+    // Campaign: delivery vs rate, one series per (protocol, scenario).
+    let mut delivery: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
+    for r in rows {
+        if r.fault != "none" {
+            continue;
+        }
+        let name = format!("{} {}", r.protocol, r.scenario);
+        match delivery.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, pts)) => pts.push((r.rate, r.delivery.mean)),
+            None => delivery.push((name, vec![(r.rate, r.delivery.mean)])),
+        }
+    }
+    if !delivery.is_empty() {
+        out.push(("campaign: delivery ratio vs rate".into(), "ratio", delivery));
+    }
+    if let Some(doc) = &benches.phy {
+        out.push((
+            "BENCH_phy: wall vs nodes".into(),
+            "s",
+            vec![
+                ("grid".into(), series(doc, "nodes", "grid_wall_s")),
+                ("brute".into(), series(doc, "nodes", "brute_wall_s")),
+            ],
+        ));
+    }
+    if let Some(doc) = &benches.shard {
+        // One series per nodes value: wall vs shard count.
+        let mut by_nodes: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
+        if let Some(rows) = doc.get("rows").and_then(Json::as_arr) {
+            for r in rows {
+                let (Some(nodes), Some(shards), Some(wall)) = (
+                    r.get("nodes").and_then(Json::as_f64),
+                    r.get("shards").and_then(Json::as_f64),
+                    r.get("wall_s").and_then(Json::as_f64),
+                ) else {
+                    continue;
+                };
+                let name = format!("{nodes} nodes");
+                match by_nodes.iter_mut().find(|(n, _)| *n == name) {
+                    Some((_, pts)) => pts.push((shards, wall)),
+                    None => by_nodes.push((name, vec![(shards, wall)])),
+                }
+            }
+        }
+        out.push(("BENCH_shard: wall vs shards".into(), "s", by_nodes));
+    }
+    if let Some(doc) = &benches.obs {
+        let mut pts = Vec::new();
+        for (i, key) in [
+            "disabled_overhead_pct",
+            "counting_overhead_pct",
+            "full_overhead_pct",
+        ]
+        .iter()
+        .enumerate()
+        {
+            if let Some(v) = doc.get(key).and_then(Json::as_f64) {
+                pts.push((i as f64, v));
+            }
+        }
+        out.push((
+            "BENCH_obs: overhead by mode (disabled, counting, full)".into(),
+            "%",
+            vec![("overhead".into(), pts)],
+        ));
+    }
+    out
+}
+
+/// Plain-text dashboard for terminals and CI logs.
+pub fn render_ascii(rows: &[SummaryRow], benches: &BenchDocs) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== regression tiles ==");
+    for t in tiles(rows, benches) {
+        let _ = writeln!(
+            out,
+            "  [{}] {:<12} {}",
+            if t.ok { "PASS" } else { "FAIL" },
+            t.label,
+            t.detail
+        );
+    }
+    if !rows.is_empty() {
+        let _ = writeln!(out, "\n== campaign summary (mean over seeds) ==");
+        let _ = writeln!(
+            out,
+            "  {:<12} {:<11} {:>6} {:<10} {:>9} {:>9} {:>9} {:>6}",
+            "protocol", "scenario", "rate", "fault", "delivery", "delay_ms", "retx", "clean"
+        );
+        for r in rows {
+            let _ = writeln!(
+                out,
+                "  {:<12} {:<11} {:>6} {:<10} {:>9.4} {:>9.2} {:>9.4} {:>6}",
+                r.protocol,
+                r.scenario,
+                fmt_f64(r.rate),
+                r.fault,
+                r.delivery.mean,
+                r.delay_s.mean * 1e3,
+                r.retx_ratio.mean,
+                if r.clean { "yes" } else { "NO" }
+            );
+        }
+    }
+    for (title, unit, named) in charts(rows, benches) {
+        let _ = writeln!(out, "\n== {title} ==");
+        for (name, pts) in named {
+            let vals = pts
+                .iter()
+                .map(|(x, y)| format!("({}, {y:.4}{unit})", fmt_f64(*x)))
+                .collect::<Vec<_>>()
+                .join(" ");
+            let _ = writeln!(out, "  {name:<20} {vals}");
+        }
+    }
+    out
+}
+
+/// An inline-SVG polyline chart.
+fn svg_chart(title: &str, unit: &str, named: &[(String, Vec<(f64, f64)>)]) -> String {
+    const W: f64 = 460.0;
+    const H: f64 = 180.0;
+    const PAD: f64 = 34.0;
+    const COLORS: [&str; 6] = [
+        "#2563eb", "#dc2626", "#059669", "#d97706", "#7c3aed", "#0891b2",
+    ];
+    let all: Vec<(f64, f64)> = named.iter().flat_map(|(_, p)| p.iter().copied()).collect();
+    if all.is_empty() {
+        return String::new();
+    }
+    let (mut x0, mut x1, mut y0, mut y1) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+    for (x, y) in &all {
+        x0 = x0.min(*x);
+        x1 = x1.max(*x);
+        y0 = y0.min(*y);
+        y1 = y1.max(*y);
+    }
+    if x1 == x0 {
+        x1 = x0 + 1.0;
+    }
+    if y1 == y0 {
+        y1 = y0 + 1.0;
+    }
+    let sx = |x: f64| PAD + (x - x0) / (x1 - x0) * (W - 2.0 * PAD);
+    let sy = |y: f64| H - PAD - (y - y0) / (y1 - y0) * (H - 2.0 * PAD);
+    let mut s = format!(
+        "<div class=\"chart\"><h3>{}</h3><svg viewBox=\"0 0 {W} {H}\" width=\"{W}\" \
+         height=\"{H}\">",
+        escape(title)
+    );
+    let _ = write!(
+        s,
+        "<rect x=\"{PAD}\" y=\"{p}\" width=\"{w}\" height=\"{h}\" fill=\"none\" \
+         stroke=\"#cbd5e1\"/>",
+        p = PAD,
+        w = W - 2.0 * PAD,
+        h = H - 2.0 * PAD
+    );
+    let _ = write!(
+        s,
+        "<text x=\"{PAD}\" y=\"{y}\" class=\"ax\">{}</text>\
+         <text x=\"{PAD}\" y=\"{p}\" class=\"ax\">{}</text>",
+        format_args!("{y0:.3}{unit}"),
+        format_args!("{y1:.3}{unit}"),
+        y = H - PAD + 14.0,
+        p = PAD - 6.0,
+    );
+    let _ = write!(
+        s,
+        "<text x=\"{x}\" y=\"{y}\" class=\"ax\" text-anchor=\"end\">{} … {}</text>",
+        fmt_f64(x0),
+        fmt_f64(x1),
+        x = W - PAD,
+        y = H - PAD + 14.0,
+    );
+    for (i, (name, pts)) in named.iter().enumerate() {
+        if pts.is_empty() {
+            continue;
+        }
+        let color = COLORS[i % COLORS.len()];
+        let path = pts
+            .iter()
+            .map(|(x, y)| format!("{:.1},{:.1}", sx(*x), sy(*y)))
+            .collect::<Vec<_>>()
+            .join(" ");
+        let _ = write!(
+            s,
+            "<polyline points=\"{path}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"2\"/>"
+        );
+        for (x, y) in pts {
+            let _ = write!(
+                s,
+                "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"2.5\" fill=\"{color}\"/>",
+                sx(*x),
+                sy(*y)
+            );
+        }
+        let _ = write!(
+            s,
+            "<text x=\"{x}\" y=\"{y}\" fill=\"{color}\" class=\"lg\">{}</text>",
+            escape(name),
+            x = W - PAD + 4.0 - 120.0,
+            y = PAD + 14.0 * (i as f64 + 1.0),
+        );
+    }
+    s.push_str("</svg></div>");
+    s
+}
+
+/// The self-contained HTML dashboard (inline CSS + SVG, no external
+/// assets — safe to upload as a single CI artifact).
+pub fn render_html(name: &str, rows: &[SummaryRow], benches: &BenchDocs) -> String {
+    let mut body = String::new();
+    body.push_str("<div class=\"tiles\">");
+    for t in tiles(rows, benches) {
+        let _ = write!(
+            body,
+            "<div class=\"tile {}\"><b>{}</b><span>{}</span></div>",
+            if t.ok { "ok" } else { "bad" },
+            escape(&t.label),
+            escape(&t.detail)
+        );
+    }
+    body.push_str("</div>");
+    if !rows.is_empty() {
+        body.push_str(
+            "<h2>Campaign summary</h2><table><tr><th>protocol</th><th>scenario</th>\
+             <th>rate</th><th>fault</th><th>delivery</th><th>p95</th><th>delay ms</th>\
+             <th>retx</th><th>clean</th></tr>",
+        );
+        for r in rows {
+            let _ = write!(
+                body,
+                "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{:.4}</td>\
+                 <td>{:.4}</td><td>{:.2}</td><td>{:.4}</td><td class=\"{}\">{}</td></tr>",
+                escape(&r.protocol),
+                escape(&r.scenario),
+                fmt_f64(r.rate),
+                escape(&r.fault),
+                r.delivery.mean,
+                r.delivery.p95,
+                r.delay_s.mean * 1e3,
+                r.retx_ratio.mean,
+                if r.clean { "ok" } else { "bad" },
+                if r.clean { "yes" } else { "NO" },
+            );
+        }
+        body.push_str("</table>");
+    }
+    body.push_str("<h2>Tracked benchmarks</h2>");
+    for (title, unit, named) in charts(rows, benches) {
+        body.push_str(&svg_chart(&title, unit, &named));
+    }
+    format!(
+        "<!doctype html><html><head><meta charset=\"utf-8\"><title>rmac campaign: {name}</title>\
+<style>
+body{{font:14px/1.5 system-ui,sans-serif;margin:24px;color:#0f172a}}
+h1{{font-size:20px}}h2{{font-size:16px;margin-top:28px}}h3{{font-size:13px;margin:8px 0}}
+.tiles{{display:flex;gap:10px;flex-wrap:wrap}}
+.tile{{border-radius:8px;padding:10px 14px;min-width:150px;color:#fff}}
+.tile b{{display:block}}.tile span{{font-size:12px;opacity:.9}}
+.tile.ok{{background:#059669}}.tile.bad{{background:#dc2626}}
+table{{border-collapse:collapse;margin-top:8px}}
+td,th{{border:1px solid #cbd5e1;padding:3px 9px;text-align:right}}
+th{{background:#f1f5f9}}td:first-child,td:nth-child(2),td:nth-child(4){{text-align:left}}
+td.ok{{color:#059669}}td.bad{{color:#dc2626;font-weight:600}}
+.chart{{display:inline-block;margin:8px 16px 8px 0;vertical-align:top}}
+.ax{{font-size:10px;fill:#64748b}}.lg{{font-size:11px}}
+</style></head><body><h1>rmac campaign dashboard: {name}</h1>{body}</body></html>\n",
+        name = escape(name),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Agg;
+
+    fn row(protocol: &str, rate: f64, delivery: f64) -> SummaryRow {
+        let agg = |v: f64| Agg {
+            n: 2,
+            mean: v,
+            p50: v,
+            p95: v,
+        };
+        SummaryRow {
+            protocol: protocol.into(),
+            scenario: "stationary".into(),
+            rate,
+            fault: "none".into(),
+            delivery: agg(delivery),
+            delay_s: agg(0.01),
+            retx_ratio: agg(0.2),
+            txoh_ratio: agg(1.0),
+            clean: true,
+        }
+    }
+
+    fn bench_docs() -> BenchDocs {
+        BenchDocs {
+            phy: Some(
+                Json::parse(
+                    r#"{"rows":[{"nodes":50,"grid_wall_s":0.07,"brute_wall_s":0.08,
+                        "bit_identical":true}]}"#,
+                )
+                .unwrap(),
+            ),
+            obs: Some(
+                Json::parse(
+                    r#"{"bit_identical":true,"disabled_overhead_pct":1.5,
+                        "counting_overhead_pct":9.0,"full_overhead_pct":70.0,
+                        "overhead_budget_pct":2}"#,
+                )
+                .unwrap(),
+            ),
+            shard: Some(
+                Json::parse(
+                    r#"{"rows":[{"nodes":200,"shards":2,"wall_s":0.08,"bit_identical":true}]}"#,
+                )
+                .unwrap(),
+            ),
+            live: Some(Json::parse(r#"{"offered_packets_per_wall_s":9272}"#).unwrap()),
+        }
+    }
+
+    #[test]
+    fn tiles_go_green_on_healthy_inputs() {
+        let rows = vec![row("RMAC", 20.0, 0.99)];
+        let ts = tiles(&rows, &bench_docs());
+        assert_eq!(ts.len(), 5);
+        assert!(ts.iter().all(|t| t.ok), "{ts:?}");
+    }
+
+    #[test]
+    fn obs_tile_goes_red_over_budget_unless_documented() {
+        let mut b = bench_docs();
+        b.obs = Some(
+            Json::parse(
+                r#"{"bit_identical":true,"disabled_overhead_pct":3.4,"overhead_budget_pct":2}"#,
+            )
+            .unwrap(),
+        );
+        let t = tiles(&[], &b);
+        assert!(!t.iter().find(|t| t.label == "bench:obs").unwrap().ok);
+        b.obs = Some(
+            Json::parse(
+                r#"{"bit_identical":true,"disabled_overhead_pct":3.4,"overhead_budget_pct":2,
+                    "ablation":{"noise_floor_pct":1.0}}"#,
+            )
+            .unwrap(),
+        );
+        let t = tiles(&[], &b);
+        assert!(t.iter().find(|t| t.label == "bench:obs").unwrap().ok);
+    }
+
+    #[test]
+    fn renders_ascii_and_html() {
+        let rows = vec![row("RMAC", 20.0, 0.99), row("BMMM", 20.0, 0.90)];
+        let b = bench_docs();
+        let ascii = render_ascii(&rows, &b);
+        assert!(ascii.contains("regression tiles"));
+        assert!(ascii.contains("BENCH_phy"));
+        assert!(ascii.contains("RMAC"));
+        let html = render_html("paper-figures", &rows, &b);
+        assert!(html.starts_with("<!doctype html>"));
+        assert!(html.contains("<svg"));
+        assert!(html.contains("polyline"));
+        assert!(html.contains("paper-figures"));
+        // Self-contained: no external references.
+        assert!(!html.contains("http://") && !html.contains("https://"));
+    }
+
+    #[test]
+    fn missing_benches_render_as_failing_tiles() {
+        let ts = tiles(&[], &BenchDocs::default());
+        assert!(ts.iter().filter(|t| !t.ok).count() >= 4);
+        let ascii = render_ascii(&[], &BenchDocs::default());
+        assert!(ascii.contains("FAIL"));
+    }
+}

@@ -1,0 +1,42 @@
+//! # rmac-campaign — fleet-scale sweep orchestration
+//!
+//! The campaign layer turns the engine's single-replication entry points
+//! into declarative, resumable, queryable experiment fleets:
+//!
+//! * [`spec`] — [`CampaignSpec`], the serializable protocol × scenario ×
+//!   rate × fault-plan × seed grid, fanned out in canonical case order.
+//! * [`runner`] — [`run_campaign`], chunked parallel execution with
+//!   per-case checkpointing into the store; a killed campaign resumes
+//!   where it stopped and reproduces the uninterrupted store **byte for
+//!   byte** (`tests/campaign_resume.rs`).
+//! * [`store`] — [`CaseRecord`], the unified metrics store line:
+//!   `RunReport` metrics, `rmac-obs` counter/histogram snapshots, and the
+//!   conformance verdict in one deterministic JSONL record.
+//! * [`query`] — axis filters and seed-pooled mean/p50/p95 aggregation.
+//! * [`gate`] — the CI gate: conformance + deterministic-metric +
+//!   calibrated-perf comparison against a committed baseline.
+//! * [`dashboard`] — ASCII and self-contained-HTML rendering of campaign
+//!   summaries, tracked `BENCH_*.json` trends, and red/green tiles.
+//! * [`pool`] — the panic-isolating parallel task pool ([`try_tasks`]).
+//! * [`json`] — the workspace's hand-rolled-JSON deserializer.
+//!
+//! Binaries: `campaign` (run/resume/gate) and `campaign_report` (the
+//! dashboard) in `rmac-experiments`.
+
+pub mod dashboard;
+pub mod gate;
+pub mod json;
+pub mod pool;
+pub mod query;
+pub mod runner;
+pub mod spec;
+pub mod store;
+
+pub use dashboard::{render_ascii, render_html, tiles, BenchDocs, Tile};
+pub use gate::{gate_spec, run_gate, GateConfig, GateReport};
+pub use json::Json;
+pub use pool::try_tasks;
+pub use query::{aggregate, load_store, summarize, summarize_json, Agg, Filter, SummaryRow};
+pub use runner::{campaign_dir, run_campaign, run_case, CampaignOutcome, RunOptions};
+pub use spec::{protocol_from_label, CampaignSpec, CaseSpec, FaultAxis, ScenarioKind};
+pub use store::CaseRecord;

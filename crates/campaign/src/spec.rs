@@ -1,0 +1,450 @@
+//! Declarative sweep specifications.
+//!
+//! A [`CampaignSpec`] is the serializable description of a campaign: the
+//! protocol × scenario × rate × fault-plan × seed grid plus the scenario
+//! scale knobs. [`CampaignSpec::cases`] fans it out into the canonical
+//! ordered case list; the runner executes cases in exactly that order so
+//! the metrics store's bytes are a pure function of the spec.
+
+use crate::json::{escape, Json};
+use rmac_engine::{Protocol, ScenarioConfig};
+use rmac_faults::FaultPlan;
+
+/// The paper's three mobility scenarios (§4.1.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ScenarioKind {
+    /// No node is moving.
+    Stationary,
+    /// Random waypoint, 0–4 m/s, 10 s pauses.
+    Speed1,
+    /// Random waypoint, 0–8 m/s, 5 s pauses.
+    Speed2,
+}
+
+impl ScenarioKind {
+    /// All three, in the paper's order.
+    pub const ALL: [ScenarioKind; 3] = [
+        ScenarioKind::Stationary,
+        ScenarioKind::Speed1,
+        ScenarioKind::Speed2,
+    ];
+
+    /// Label used in reports and file names.
+    pub fn label(self) -> &'static str {
+        match self {
+            ScenarioKind::Stationary => "stationary",
+            ScenarioKind::Speed1 => "speed1",
+            ScenarioKind::Speed2 => "speed2",
+        }
+    }
+
+    /// Inverse of [`ScenarioKind::label`].
+    pub fn from_label(s: &str) -> Option<ScenarioKind> {
+        ScenarioKind::ALL.into_iter().find(|k| k.label() == s)
+    }
+
+    /// The paper-parameterised scenario config at one source rate.
+    pub fn config(self, rate: f64) -> ScenarioConfig {
+        match self {
+            ScenarioKind::Stationary => ScenarioConfig::paper_stationary(rate),
+            ScenarioKind::Speed1 => ScenarioConfig::paper_speed1(rate),
+            ScenarioKind::Speed2 => ScenarioConfig::paper_speed2(rate),
+        }
+    }
+}
+
+/// Inverse of [`Protocol::label`].
+pub fn protocol_from_label(s: &str) -> Option<Protocol> {
+    [
+        Protocol::Rmac,
+        Protocol::RmacNoRbt,
+        Protocol::RmacSkipRbtSense,
+        Protocol::Bmmm,
+        Protocol::Bmw,
+        Protocol::Lbp,
+        Protocol::Mx80211,
+    ]
+    .into_iter()
+    .find(|p| p.label() == s)
+}
+
+/// One named fault-plan axis value ("none", "moderate-bursty", …).
+#[derive(Clone, Debug)]
+pub struct FaultAxis {
+    pub name: String,
+    pub plan: FaultPlan,
+}
+
+impl FaultAxis {
+    /// The trivial axis every campaign has by default.
+    pub fn none() -> FaultAxis {
+        FaultAxis {
+            name: "none".into(),
+            plan: FaultPlan::none(),
+        }
+    }
+
+    /// A harsh bursty-corruption axis: long deep-loss phases corrupt
+    /// control frames, so protocol mutants that transmit without sensing
+    /// (e.g. a skipped WF_RBT λ-detection) actually reach their broken
+    /// path and surface as C1 violations. The real protocols stay clean
+    /// under it (pinned by `tests/conformance.rs`).
+    pub fn bursty() -> FaultAxis {
+        FaultAxis {
+            name: "bursty".into(),
+            plan: FaultPlan {
+                bursty: Some(rmac_faults::BurstySpec {
+                    mean_good_ms: 300.0,
+                    mean_bad_ms: 300.0,
+                    loss_good: 0.05,
+                    loss_bad: 0.9,
+                }),
+                ..FaultPlan::none()
+            },
+        }
+    }
+}
+
+/// A declarative campaign: the full grid plus scenario scale knobs.
+#[derive(Clone, Debug)]
+pub struct CampaignSpec {
+    /// Campaign name; also the directory name under `results/campaigns/`.
+    pub name: String,
+    /// Protocols to compare.
+    pub protocols: Vec<Protocol>,
+    /// Mobility scenarios.
+    pub scenarios: Vec<ScenarioKind>,
+    /// Source rates in packets/second.
+    pub rates: Vec<f64>,
+    /// Replication seeds (one random placement each).
+    pub seeds: Vec<u64>,
+    /// Fault-plan axis (always at least [`FaultAxis::none`]).
+    pub faults: Vec<FaultAxis>,
+    /// Packets per replication.
+    pub packets: u64,
+    /// Network size.
+    pub nodes: usize,
+    /// Shard count for the sharded engine; 0 or 1 runs the serial oracle.
+    pub shards: usize,
+    /// Attach the obs layer and ingest counter snapshots per case.
+    pub obs: bool,
+}
+
+/// Render an f64 compactly: integers without the trailing `.0`.
+pub(crate) fn fmt_f64(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+impl CampaignSpec {
+    /// The campaign behind the paper's Figs. 7–13: RMAC vs BMMM over the
+    /// three mobility scenarios and the full rate axis, ten placements
+    /// each. `quick` shrinks every axis for CI smoke runs.
+    pub fn paper_figures(quick: bool) -> CampaignSpec {
+        if quick {
+            CampaignSpec {
+                name: "paper-figures-quick".into(),
+                protocols: vec![Protocol::Rmac, Protocol::Bmmm],
+                scenarios: ScenarioKind::ALL.to_vec(),
+                rates: vec![5.0, 40.0, 120.0],
+                seeds: vec![0, 1],
+                faults: vec![FaultAxis::none()],
+                packets: 60,
+                nodes: 30,
+                shards: 0,
+                obs: false,
+            }
+        } else {
+            CampaignSpec {
+                name: "paper-figures".into(),
+                protocols: vec![Protocol::Rmac, Protocol::Bmmm],
+                scenarios: ScenarioKind::ALL.to_vec(),
+                rates: vec![5.0, 10.0, 20.0, 40.0, 60.0, 80.0, 100.0, 120.0],
+                seeds: (0..10).collect(),
+                faults: vec![FaultAxis::none()],
+                packets: 1000,
+                nodes: 75,
+                shards: 0,
+                obs: false,
+            }
+        }
+    }
+
+    /// Total number of cases the grid fans out to.
+    pub fn case_count(&self) -> usize {
+        self.protocols.len()
+            * self.scenarios.len()
+            * self.rates.len()
+            * self.faults.len()
+            * self.seeds.len()
+    }
+
+    /// Fan the grid out into the canonical ordered case list: protocols ×
+    /// scenarios × rates × faults × seeds, seeds innermost. This order is
+    /// the store's append order — never reorder it, or resumed campaigns
+    /// stop being bit-identical to uninterrupted ones.
+    pub fn cases(&self) -> Vec<CaseSpec> {
+        let mut out = Vec::with_capacity(self.case_count());
+        for &protocol in &self.protocols {
+            for &scenario in &self.scenarios {
+                for &rate in &self.rates {
+                    for fault in &self.faults {
+                        for &seed in &self.seeds {
+                            out.push(CaseSpec {
+                                protocol,
+                                scenario,
+                                rate,
+                                seed,
+                                fault: fault.name.clone(),
+                                plan: fault.plan.clone(),
+                                packets: self.packets,
+                                nodes: self.nodes,
+                                shards: self.shards,
+                                obs: self.obs,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The spec as a JSON document (the campaign manifest).
+    pub fn to_json(&self) -> String {
+        let protocols = self
+            .protocols
+            .iter()
+            .map(|p| format!("\"{}\"", p.label()))
+            .collect::<Vec<_>>()
+            .join(",");
+        let scenarios = self
+            .scenarios
+            .iter()
+            .map(|s| format!("\"{}\"", s.label()))
+            .collect::<Vec<_>>()
+            .join(",");
+        let rates = self
+            .rates
+            .iter()
+            .map(|r| fmt_f64(*r))
+            .collect::<Vec<_>>()
+            .join(",");
+        let seeds = self
+            .seeds
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        let faults = self
+            .faults
+            .iter()
+            .map(|f| {
+                format!(
+                    "{{\"name\":\"{}\",\"plan\":{}}}",
+                    escape(&f.name),
+                    f.plan.to_json()
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\n  \"name\": \"{}\",\n  \"protocols\": [{}],\n  \"scenarios\": [{}],\n  \
+             \"rates\": [{}],\n  \"seeds\": [{}],\n  \"packets\": {},\n  \"nodes\": {},\n  \
+             \"shards\": {},\n  \"obs\": {},\n  \"faults\": [{}]\n}}\n",
+            escape(&self.name),
+            protocols,
+            scenarios,
+            rates,
+            seeds,
+            self.packets,
+            self.nodes,
+            self.shards,
+            self.obs,
+            faults,
+        )
+    }
+
+    /// Parse a spec back from its manifest JSON.
+    pub fn from_json(text: &str) -> Result<CampaignSpec, String> {
+        let v = Json::parse(text).map_err(|e| format!("campaign spec: {e}"))?;
+        let str_list = |key: &str| -> Result<Vec<String>, String> {
+            Ok(v.req(key)?
+                .as_arr()
+                .ok_or_else(|| format!("{key} must be an array"))?
+                .iter()
+                .filter_map(|x| x.as_str().map(str::to_string))
+                .collect())
+        };
+        let protocols = str_list("protocols")?
+            .iter()
+            .map(|s| protocol_from_label(s).ok_or_else(|| format!("unknown protocol {s:?}")))
+            .collect::<Result<Vec<_>, _>>()?;
+        let scenarios = str_list("scenarios")?
+            .iter()
+            .map(|s| ScenarioKind::from_label(s).ok_or_else(|| format!("unknown scenario {s:?}")))
+            .collect::<Result<Vec<_>, _>>()?;
+        let num_list = |key: &str| -> Result<Vec<f64>, String> {
+            Ok(v.req(key)?
+                .as_arr()
+                .ok_or_else(|| format!("{key} must be an array"))?
+                .iter()
+                .filter_map(Json::as_f64)
+                .collect())
+        };
+        let faults = v
+            .req("faults")?
+            .as_arr()
+            .ok_or("faults must be an array")?
+            .iter()
+            .map(|f| -> Result<FaultAxis, String> {
+                Ok(FaultAxis {
+                    name: f
+                        .req("name")?
+                        .as_str()
+                        .ok_or("fault name must be a string")?
+                        .to_string(),
+                    plan: FaultPlan::from_json(&f.req("plan")?.render())?,
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(CampaignSpec {
+            name: v
+                .req("name")?
+                .as_str()
+                .ok_or("name must be a string")?
+                .to_string(),
+            protocols,
+            scenarios,
+            rates: num_list("rates")?,
+            seeds: num_list("seeds")?.iter().map(|s| *s as u64).collect(),
+            faults,
+            packets: v
+                .req("packets")?
+                .as_u64()
+                .ok_or("packets must be an integer")?,
+            nodes: v.req("nodes")?.as_u64().ok_or("nodes must be an integer")? as usize,
+            shards: v
+                .req("shards")?
+                .as_u64()
+                .ok_or("shards must be an integer")? as usize,
+            obs: v.req("obs")?.as_bool().ok_or("obs must be a boolean")?,
+        })
+    }
+}
+
+/// One fully materialized grid point: everything needed to run and key a
+/// single replication.
+#[derive(Clone, Debug)]
+pub struct CaseSpec {
+    pub protocol: Protocol,
+    pub scenario: ScenarioKind,
+    pub rate: f64,
+    pub seed: u64,
+    /// The fault axis name ("none" for the trivial plan).
+    pub fault: String,
+    pub plan: FaultPlan,
+    pub packets: u64,
+    pub nodes: usize,
+    pub shards: usize,
+    pub obs: bool,
+}
+
+impl CaseSpec {
+    /// The case's unique store key, e.g. `RMAC/stationary/r20/none/s3`.
+    pub fn key(&self) -> String {
+        format!(
+            "{}/{}/r{}/{}/s{}",
+            self.protocol.label(),
+            self.scenario.label(),
+            fmt_f64(self.rate),
+            self.fault,
+            self.seed
+        )
+    }
+
+    /// The scenario config this case runs.
+    pub fn config(&self) -> ScenarioConfig {
+        let mut cfg = self
+            .scenario
+            .config(self.rate)
+            .with_packets(self.packets)
+            .with_nodes(self.nodes);
+        if self.shards > 1 {
+            cfg = cfg.with_shards(self.shards);
+        }
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_enumerate_seeds_innermost() {
+        let mut spec = CampaignSpec::paper_figures(true);
+        spec.seeds = vec![0, 1];
+        let cases = spec.cases();
+        assert_eq!(cases.len(), spec.case_count());
+        assert_eq!(cases[0].seed, 0);
+        assert_eq!(cases[1].seed, 1);
+        assert_eq!(cases[0].key(), "RMAC/stationary/r5/none/s0");
+        // Keys are unique.
+        let mut keys: Vec<String> = cases.iter().map(CaseSpec::key).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), cases.len());
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let mut spec = CampaignSpec::paper_figures(false);
+        spec.faults.push(FaultAxis {
+            name: "moderate-bursty".into(),
+            plan: FaultPlan {
+                bursty: Some(rmac_faults::BurstySpec::moderate()),
+                ..FaultPlan::none()
+            },
+        });
+        let back = CampaignSpec::from_json(&spec.to_json()).expect("round trip");
+        assert_eq!(back.name, spec.name);
+        assert_eq!(back.protocols, spec.protocols);
+        assert_eq!(back.scenarios, spec.scenarios);
+        assert_eq!(back.rates, spec.rates);
+        assert_eq!(back.seeds, spec.seeds);
+        assert_eq!(back.packets, spec.packets);
+        assert_eq!(back.nodes, spec.nodes);
+        assert_eq!(back.faults.len(), 2);
+        assert_eq!(back.faults[1].name, "moderate-bursty");
+        assert!(back.faults[1].plan.bursty.is_some());
+        // The regenerated manifest is byte-identical (the resume contract).
+        assert_eq!(back.to_json(), spec.to_json());
+    }
+
+    #[test]
+    fn protocol_labels_round_trip() {
+        for p in [
+            Protocol::Rmac,
+            Protocol::RmacNoRbt,
+            Protocol::RmacSkipRbtSense,
+            Protocol::Bmmm,
+            Protocol::Bmw,
+            Protocol::Lbp,
+            Protocol::Mx80211,
+        ] {
+            assert_eq!(protocol_from_label(p.label()), Some(p));
+        }
+    }
+
+    #[test]
+    fn scenario_labels_match_configs() {
+        for s in ScenarioKind::ALL {
+            assert_eq!(s.config(5.0).name, s.label());
+            assert_eq!(ScenarioKind::from_label(s.label()), Some(s));
+        }
+    }
+}

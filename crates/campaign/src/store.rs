@@ -1,0 +1,308 @@
+//! The unified metrics store.
+//!
+//! One campaign directory (`results/campaigns/<name>/`) holds:
+//!
+//! * `manifest.json` — the [`CampaignSpec`](crate::CampaignSpec) that
+//!   produced the store (byte-stable; doubles as the resume contract).
+//! * `store.jsonl` — one [`CaseRecord`] line per completed case, appended
+//!   **in canonical case order**. Every field is deterministic simulation
+//!   state (no wall clocks), so the file's bytes are a pure function of
+//!   the spec — which is what makes kill/resume bit-identity testable.
+//! * `summary.json` — per-grid-point aggregates over seeds, written when
+//!   the campaign completes (see [`crate::query`]).
+//!
+//! A case record ingests the replication's `RunReport`, the conformance
+//! verdict, and (when the spec asks for it) the `rmac-obs` registry
+//! counters and histogram summaries.
+
+use crate::json::{escape, Json};
+use crate::spec::{fmt_f64, CaseSpec};
+use rmac_check::CheckReport;
+use rmac_metrics::RunReport;
+use rmac_obs::ObsReport;
+
+/// One completed case: identity axes plus the ingested metrics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CaseRecord {
+    /// The case key (`RMAC/stationary/r20/none/s3`).
+    pub key: String,
+    pub protocol: String,
+    pub scenario: String,
+    pub rate: f64,
+    pub seed: u64,
+    pub fault: String,
+    /// Delivery ratio (receptions / expected receptions).
+    pub delivery: f64,
+    pub drop_ratio: f64,
+    pub retx_ratio: f64,
+    pub txoh_ratio: f64,
+    pub abort_avg: f64,
+    pub mrts_len_avg: f64,
+    /// Mean end-to-end delay in seconds.
+    pub delay_s: f64,
+    pub hops_avg: f64,
+    pub packets_sent: u64,
+    pub receptions: u64,
+    pub expected_receptions: u64,
+    /// Events the simulation dispatched (the perf-proxy metric: a pure
+    /// function of the seed, unlike wall time).
+    pub events: u64,
+    pub faults_injected: u64,
+    /// Conformance verdict: no violations recorded.
+    pub check_clean: bool,
+    /// Violation count (0 when clean).
+    pub violations: u64,
+    /// First violation rendered, or empty when clean.
+    pub first_violation: String,
+    /// Registry counters `(name, value)` sorted by name; empty when the
+    /// spec ran without obs.
+    pub obs_counters: Vec<(String, u64)>,
+    /// Registry histogram summaries `(name, count, p50, p95)` sorted by
+    /// name; empty without obs.
+    pub obs_hists: Vec<(String, u64, u64, u64)>,
+}
+
+impl CaseRecord {
+    /// Ingest one case's outputs.
+    pub fn from_run(
+        case: &CaseSpec,
+        report: &RunReport,
+        obs: Option<&ObsReport>,
+        check: &CheckReport,
+    ) -> CaseRecord {
+        let mut obs_counters: Vec<(String, u64)> = Vec::new();
+        let mut obs_hists: Vec<(String, u64, u64, u64)> = Vec::new();
+        if let Some(o) = obs {
+            obs_counters = o
+                .registry
+                .counters()
+                .map(|(n, v)| (n.to_string(), v))
+                .collect();
+            obs_counters.sort();
+            obs_hists = o
+                .registry
+                .hists()
+                .map(|(n, h)| (n.to_string(), h.count(), h.quantile(0.50), h.quantile(0.95)))
+                .collect();
+            obs_hists.sort();
+        }
+        CaseRecord {
+            key: case.key(),
+            protocol: report.protocol.clone(),
+            scenario: report.scenario.clone(),
+            rate: report.rate_pps,
+            seed: case.seed,
+            fault: case.fault.clone(),
+            delivery: report.delivery_ratio(),
+            drop_ratio: report.drop_ratio_avg,
+            retx_ratio: report.retx_ratio_avg,
+            txoh_ratio: report.txoh_ratio_avg,
+            abort_avg: report.abort_avg,
+            mrts_len_avg: report.mrts_len_avg,
+            delay_s: report.e2e_delay_avg_s,
+            hops_avg: report.hops_avg,
+            packets_sent: report.packets_sent,
+            receptions: report.receptions,
+            expected_receptions: report.expected_receptions,
+            events: report.events,
+            faults_injected: report.faults_injected,
+            check_clean: check.is_clean(),
+            violations: check.violations.len() as u64,
+            first_violation: check
+                .violations
+                .first()
+                .map(|v| v.to_string())
+                .unwrap_or_default(),
+            obs_counters,
+            obs_hists,
+        }
+    }
+
+    /// One deterministic JSONL line (no trailing newline). Floats use
+    /// fixed six-decimal formatting so bytes never depend on float
+    /// printing quirks.
+    pub fn to_jsonl(&self) -> String {
+        let mut s = format!(
+            "{{\"key\":\"{}\",\"protocol\":\"{}\",\"scenario\":\"{}\",\"rate\":{},\
+             \"seed\":{},\"fault\":\"{}\",\"delivery\":{:.6},\"drop_ratio\":{:.6},\
+             \"retx_ratio\":{:.6},\"txoh_ratio\":{:.6},\"abort_avg\":{:.6},\
+             \"mrts_len_avg\":{:.6},\"delay_s\":{:.6},\"hops_avg\":{:.6},\
+             \"packets_sent\":{},\"receptions\":{},\"expected_receptions\":{},\
+             \"events\":{},\"faults_injected\":{},\"check_clean\":{},\"violations\":{},\
+             \"first_violation\":\"{}\"",
+            escape(&self.key),
+            escape(&self.protocol),
+            escape(&self.scenario),
+            fmt_f64(self.rate),
+            self.seed,
+            escape(&self.fault),
+            self.delivery,
+            self.drop_ratio,
+            self.retx_ratio,
+            self.txoh_ratio,
+            self.abort_avg,
+            self.mrts_len_avg,
+            self.delay_s,
+            self.hops_avg,
+            self.packets_sent,
+            self.receptions,
+            self.expected_receptions,
+            self.events,
+            self.faults_injected,
+            self.check_clean,
+            self.violations,
+            escape(&self.first_violation),
+        );
+        if !self.obs_counters.is_empty() || !self.obs_hists.is_empty() {
+            let counters = self
+                .obs_counters
+                .iter()
+                .map(|(n, v)| format!("\"{}\":{}", escape(n), v))
+                .collect::<Vec<_>>()
+                .join(",");
+            let hists = self
+                .obs_hists
+                .iter()
+                .map(|(n, c, p50, p95)| {
+                    format!(
+                        "\"{}\":{{\"count\":{c},\"p50\":{p50},\"p95\":{p95}}}",
+                        escape(n)
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(",");
+            s.push_str(&format!(
+                ",\"obs_counters\":{{{counters}}},\"obs_hists\":{{{hists}}}"
+            ));
+        }
+        s.push('}');
+        s
+    }
+
+    /// Parse a line written by [`CaseRecord::to_jsonl`].
+    pub fn from_jsonl(line: &str) -> Result<CaseRecord, String> {
+        let v = Json::parse(line).map_err(|e| format!("case record: {e}"))?;
+        let f = |key: &str| -> Result<f64, String> {
+            v.req(key)?
+                .as_f64()
+                .ok_or_else(|| format!("{key} must be a number"))
+        };
+        let u = |key: &str| -> Result<u64, String> {
+            v.req(key)?
+                .as_u64()
+                .ok_or_else(|| format!("{key} must be an integer"))
+        };
+        let s = |key: &str| -> Result<String, String> {
+            Ok(v.req(key)?
+                .as_str()
+                .ok_or_else(|| format!("{key} must be a string"))?
+                .to_string())
+        };
+        let mut obs_counters: Vec<(String, u64)> = Vec::new();
+        if let Some(Json::Obj(fields)) = v.get("obs_counters") {
+            for (k, val) in fields {
+                obs_counters.push((
+                    k.clone(),
+                    val.as_u64().ok_or("obs counter must be an integer")?,
+                ));
+            }
+        }
+        let mut obs_hists: Vec<(String, u64, u64, u64)> = Vec::new();
+        if let Some(Json::Obj(fields)) = v.get("obs_hists") {
+            for (k, h) in fields {
+                obs_hists.push((
+                    k.clone(),
+                    h.req("count")?.as_u64().ok_or("hist count")?,
+                    h.req("p50")?.as_u64().ok_or("hist p50")?,
+                    h.req("p95")?.as_u64().ok_or("hist p95")?,
+                ));
+            }
+        }
+        Ok(CaseRecord {
+            key: s("key")?,
+            protocol: s("protocol")?,
+            scenario: s("scenario")?,
+            rate: f("rate")?,
+            seed: u("seed")?,
+            fault: s("fault")?,
+            delivery: f("delivery")?,
+            drop_ratio: f("drop_ratio")?,
+            retx_ratio: f("retx_ratio")?,
+            txoh_ratio: f("txoh_ratio")?,
+            abort_avg: f("abort_avg")?,
+            mrts_len_avg: f("mrts_len_avg")?,
+            delay_s: f("delay_s")?,
+            hops_avg: f("hops_avg")?,
+            packets_sent: u("packets_sent")?,
+            receptions: u("receptions")?,
+            expected_receptions: u("expected_receptions")?,
+            events: u("events")?,
+            faults_injected: u("faults_injected")?,
+            check_clean: v
+                .req("check_clean")?
+                .as_bool()
+                .ok_or("check_clean must be a boolean")?,
+            violations: u("violations")?,
+            first_violation: s("first_violation")?,
+            obs_counters,
+            obs_hists,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> CaseRecord {
+        CaseRecord {
+            key: "RMAC/stationary/r20/none/s3".into(),
+            protocol: "RMAC".into(),
+            scenario: "stationary".into(),
+            rate: 20.0,
+            seed: 3,
+            fault: "none".into(),
+            delivery: 0.987654,
+            drop_ratio: 0.01,
+            retx_ratio: 0.2,
+            txoh_ratio: 1.5,
+            abort_avg: 0.05,
+            mrts_len_avg: 44.2,
+            delay_s: 0.0123,
+            hops_avg: 2.5,
+            packets_sent: 100,
+            receptions: 740,
+            expected_receptions: 750,
+            events: 123456,
+            faults_injected: 0,
+            check_clean: true,
+            violations: 0,
+            first_violation: String::new(),
+            obs_counters: vec![("queue.pushed".into(), 42)],
+            obs_hists: vec![("delay_us".into(), 10, 500, 900)],
+        }
+    }
+
+    #[test]
+    fn record_round_trips_through_jsonl() {
+        let r = record();
+        let line = r.to_jsonl();
+        assert!(!line.contains('\n'));
+        assert_eq!(CaseRecord::from_jsonl(&line).expect("parse"), r);
+    }
+
+    #[test]
+    fn record_without_obs_omits_the_sections() {
+        let mut r = record();
+        r.obs_counters.clear();
+        r.obs_hists.clear();
+        let line = r.to_jsonl();
+        assert!(!line.contains("obs_counters"));
+        assert_eq!(CaseRecord::from_jsonl(&line).expect("parse"), r);
+    }
+
+    #[test]
+    fn serialization_is_byte_stable() {
+        assert_eq!(record().to_jsonl(), record().to_jsonl());
+    }
+}

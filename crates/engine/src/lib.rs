@@ -31,11 +31,14 @@ pub use rmac_faults::FaultPlan;
 pub use rmac_obs::ObsReport;
 pub use shard::{
     run_replication_sharded, run_replication_sharded_checked, run_replication_sharded_with_faults,
-    ShardStats, ShardedRunner,
+    GroupStats, ShardStats, ShardedRunner,
 };
 pub use trace::{
     filter_tracer, jsonl_file_tracer, JsonlSink, SinkSummary, TraceEvent, TraceLevel, TraceWhat,
     Tracer,
 };
 pub use transport::{EngineMedium, EngineTransport, MediumStats};
-pub use world::{run_replication, run_replication_checked, run_replication_with_faults, Runner};
+pub use world::{
+    run_replication, run_replication_checked, run_replication_instrumented,
+    run_replication_with_faults, Runner,
+};

@@ -30,11 +30,15 @@
 //!   stream.
 //!
 //! Scenarios where causal closure cannot be proven cheaply fall back to a
-//! single group: mobility (nodes roam the whole plane), a positive BER or
-//! an attached tracer (the channel-noise draws and trace emission order
-//! are globally sequenced). A single group still exercises the sharded
-//! queue, the router and the timetable — `shards = 1` *is* the oracle
-//! algorithm — it just runs serially-canonically on one thread.
+//! single group: mobility (nodes roam the whole plane) or a positive BER
+//! (the channel-noise draws are globally sequenced). A single group still
+//! exercises the sharded queue, the router and the timetable —
+//! `shards = 1` *is* the oracle algorithm — it just runs
+//! serially-canonically on one thread. An attached tracer is *not* a
+//! fallback: each traced group buffers its emissions with a per-dispatch
+//! log, and [`merge_traces`] interleaves the buffers back into the
+//! oracle's global `(time, seq)` order before the user's tracer sees them
+//! (byte-identical JSONL, pinned by `tests/golden_traces.rs`).
 //!
 //! Per-group results merge back losslessly: per-node state is taken from
 //! each node's owner group in global node order (float accumulation order
@@ -54,9 +58,10 @@ use rmac_phy::FrameTallies;
 use rmac_sim::{EventQueue, ShardedQueue, SimRng, SimTime};
 
 use crate::config::{Protocol, ScenarioConfig};
-use crate::trace::Tracer;
+use crate::trace::{TraceEvent, Tracer};
 use crate::world::{
-    build_motions, collect_report, BeaconPlan, Ev, Harvest, Runner, Scope, BEACON_JITTER_NS,
+    build_motions, collect_report, seed_slots, BeaconPlan, DispatchRec, Ev, Harvest, Runner, Scope,
+    BEACON_JITTER_NS,
 };
 
 /// Guard margin on the radio range when testing whether two stripes are
@@ -205,7 +210,7 @@ impl BeaconTimetable {
 }
 
 /// Scheduling statistics of one sharded replication.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ShardStats {
     /// Configured shard count.
     pub shards: usize,
@@ -217,6 +222,51 @@ pub struct ShardStats {
     pub cross_pushes: u64,
     /// Events that stayed on their dispatching shard, summed over groups.
     pub local_pushes: u64,
+    /// Per-group scheduling breakdown, in group order (groups are ordered
+    /// by their smallest shard id). The shard-balance raw material for
+    /// `obs_report` ([`rmac_obs::render_shard_balance`]).
+    pub group_stats: Vec<GroupStats>,
+}
+
+impl ShardStats {
+    /// The per-group breakdown as [`rmac_obs`] shard-balance rows.
+    pub fn balance_rows(&self) -> Vec<rmac_obs::ShardGroupRow> {
+        self.group_stats
+            .iter()
+            .map(|g| rmac_obs::ShardGroupRow {
+                shards: g.shards.clone(),
+                events: g.events,
+                local_pushes: g.local_pushes,
+                cross_pushes: g.cross_pushes,
+                wall_ns: g.wall_ns,
+            })
+            .collect()
+    }
+}
+
+/// One shard group's scheduling statistics.
+#[derive(Clone, Debug)]
+pub struct GroupStats {
+    /// The shard ids the group owns, sorted ascending.
+    pub shards: Vec<usize>,
+    /// Events the group dispatched.
+    pub events: u64,
+    /// Pushes that stayed on their dispatching shard.
+    pub local_pushes: u64,
+    /// Pushes routed to a different shard of the same group.
+    pub cross_pushes: u64,
+    /// Wall-clock time the group's worker spent on it (assembly + run).
+    /// Wall readings live outside the determinism domain: they feed the
+    /// balance table only, never a `RunReport` or the campaign store.
+    pub wall_ns: u64,
+}
+
+/// A shard group's buffered trace: every event the group emitted (in the
+/// group's own dispatch order) plus the per-dispatch log that lets the
+/// merge interleave buffers back into the oracle's global order.
+struct TraceCapture {
+    events: Vec<TraceEvent>,
+    log: Vec<DispatchRec>,
 }
 
 /// Result of one shard group's run.
@@ -225,6 +275,8 @@ struct GroupRun {
     check: Option<CheckReport>,
     cross_pushes: u64,
     local_pushes: u64,
+    wall_ns: u64,
+    trace: Option<TraceCapture>,
 }
 
 /// A replication driven by the sharded engine. Construction mirrors
@@ -259,9 +311,11 @@ impl ShardedRunner {
         }
     }
 
-    /// Attach a trace observer. Tracing forces single-group (serial)
-    /// execution so the emission order stays the oracle's, which is what
-    /// lets the golden traces replay byte-stable at any shard count.
+    /// Attach a trace observer. Tracing does not restrict the group
+    /// decomposition: a multi-group run buffers each group's emissions and
+    /// interleaves the buffers back into the oracle's global order before
+    /// the observer sees them, so the golden traces replay byte-stable at
+    /// any shard count (`tests/golden_traces.rs`).
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = Some(tracer);
     }
@@ -298,12 +352,13 @@ impl ShardedRunner {
             .collect();
         let map = ShardMap::stripes(&positions, self.cfg.bounds.width, shards);
         // Causal closure is only provable for frozen geometry and a noise-
-        // free channel: mobility lets nodes roam across stripes, a positive
-        // BER sequences the shared channel-noise stream over all receptions,
-        // and a tracer needs the global emission order.
-        let parallel_ok = matches!(self.cfg.mobility, MobilityKind::Stationary)
-            && self.cfg.ber_per_bit == 0.0
-            && self.tracer.is_none();
+        // free channel: mobility lets nodes roam across stripes, and a
+        // positive BER sequences the shared channel-noise stream over all
+        // receptions. An attached tracer no longer forces a single group:
+        // multi-group runs buffer per-group emissions and merge them back
+        // into the oracle's order (see the trace-merge section below).
+        let parallel_ok =
+            matches!(self.cfg.mobility, MobilityKind::Stationary) && self.cfg.ber_per_bit == 0.0;
         let groups: Vec<Vec<usize>> = if parallel_ok {
             coupled_groups(&positions, &map.owner, shards, self.cfg.range_m)
         } else {
@@ -323,7 +378,8 @@ impl ShardedRunner {
         let owner = &map.owner;
         let tracer = self.tracer.take();
 
-        let run_group = |group: &[usize], tracer: Option<Tracer>| -> GroupRun {
+        let run_group = |group: &[usize], tracer: Option<Tracer>, capture: bool| -> GroupRun {
+            let started = std::time::Instant::now();
             // Local (sub-queue) index of each shard in this group.
             let mut local_of = vec![usize::MAX; shards];
             for (li, &s) in group.iter().enumerate() {
@@ -348,7 +404,21 @@ impl ShardedRunner {
             if collect_check {
                 runner.ensure_check();
             }
-            runner.run_loop();
+            // With multiple traced groups, the group buffers its emissions
+            // and logs each dispatch so the merge below can restore the
+            // oracle's global emission order.
+            let log = if capture {
+                let buf: Arc<Mutex<Vec<TraceEvent>>> = Arc::default();
+                let sink = Arc::clone(&buf);
+                runner.set_tracer(Box::new(move |e| {
+                    sink.lock().expect("trace buffer poisoned").push(e.clone())
+                }));
+                let log = runner.run_loop_logged(&buf);
+                Some((buf, log))
+            } else {
+                runner.run_loop();
+                None
+            };
             let check = if collect_check {
                 runner.finish_check()
             } else {
@@ -356,11 +426,21 @@ impl ShardedRunner {
                 None
             };
             let (cross_pushes, local_pushes) = runner.bus_stats();
+            let harvest = runner.harvest();
+            let trace = log.map(|(buf, log)| TraceCapture {
+                events: Arc::try_unwrap(buf)
+                    .expect("trace buffer still shared after the run")
+                    .into_inner()
+                    .expect("trace buffer poisoned"),
+                log,
+            });
             GroupRun {
-                harvest: runner.harvest(),
+                harvest,
                 check,
                 cross_pushes,
                 local_pushes,
+                wall_ns: started.elapsed().as_nanos() as u64,
+                trace,
             }
         };
 
@@ -373,10 +453,15 @@ impl ShardedRunner {
         let workers = thread::available_parallelism()
             .map_or(1, |n| n.get())
             .min(groups.len());
-        let results: Vec<GroupRun> = if groups.len() == 1 {
-            vec![run_group(&groups[0], tracer)]
+        // A single group streams straight into the user's tracer (the
+        // group's dispatch order *is* the oracle's); multiple traced
+        // groups run in capture mode and merge afterwards.
+        let capture = tracer.is_some() && groups.len() > 1;
+        let mut tracer = tracer;
+        let mut results: Vec<GroupRun> = if groups.len() == 1 {
+            vec![run_group(&groups[0], tracer.take(), false)]
         } else if workers <= 1 {
-            groups.iter().map(|g| run_group(g, None)).collect()
+            groups.iter().map(|g| run_group(g, None, capture)).collect()
         } else {
             let next = AtomicUsize::new(0);
             let slots: Vec<Mutex<Option<GroupRun>>> =
@@ -387,7 +472,7 @@ impl ShardedRunner {
                         s.spawn(|| loop {
                             let gi = next.fetch_add(1, Ordering::Relaxed);
                             let Some(g) = groups.get(gi) else { break };
-                            let run = run_group(g, None);
+                            let run = run_group(g, None, capture);
                             *slots[gi].lock().expect("slot poisoned") = Some(run);
                         })
                     })
@@ -415,7 +500,26 @@ impl ShardedRunner {
             groups: groups.len(),
             cross_pushes: 0,
             local_pushes: 0,
+            group_stats: results
+                .iter()
+                .zip(&groups)
+                .map(|(r, g)| GroupStats {
+                    shards: g.clone(),
+                    events: r.harvest.events,
+                    local_pushes: r.local_pushes,
+                    cross_pushes: r.cross_pushes,
+                    wall_ns: r.wall_ns,
+                })
+                .collect(),
         };
+        if capture {
+            let tracer = tracer.as_mut().expect("capture without a tracer");
+            let captures: Vec<TraceCapture> = results
+                .iter_mut()
+                .map(|r| r.trace.take().expect("captured group lost its trace"))
+                .collect();
+            merge_traces(tracer, &groups, &map.owner, cfg, plan, captures);
+        }
         let mut results = results.into_iter();
         let first = results.next().expect("at least one shard group");
         stats.cross_pushes += first.cross_pushes;
@@ -448,6 +552,81 @@ impl ShardedRunner {
         let report = collect_report(&self.cfg, protocol, seed, &merged);
         let check = collect_check.then(|| merge_checks(checks));
         (report, check, stats)
+    }
+}
+
+/// Interleave per-group trace buffers back into the oracle's global
+/// emission order and replay them through the user's tracer.
+///
+/// The oracle dispatches events in global `(time, seq)` order, where `seq`
+/// is the push counter at push time; each group dispatched its own slice
+/// of that order, tagging every dispatch with the *group-local* push seq
+/// of the popped event ([`DispatchRec`]). The reconstruction recovers each
+/// local seq's global rank by replaying the push arithmetic:
+///
+/// 1. Seed pushes: the oracle seeds in one fixed enumeration
+///    ([`seed_slots`]) and a scoped group seeds exactly its owned slots in
+///    the same relative order, so a group's k-th seed push has the global
+///    rank of the k-th owned slot in the enumeration.
+/// 2. Dispatch pushes: within one dispatch the group performs the same
+///    pushes as the oracle (causal closure keeps every push in-group), so
+///    walking dispatches in global order and handing out consecutive
+///    global ranks to each dispatch's pushes reproduces the oracle's
+///    assignment exactly.
+///
+/// The walk itself is the standard k-way merge: repeatedly take the group
+/// whose next dispatch record has the smallest `(time, global rank)` key.
+/// A popped event's rank is always already assigned when its record
+/// reaches the head — its push belongs to an earlier record of the same
+/// group (or to the seeds), and records within a group are consumed in
+/// order.
+fn merge_traces(
+    tracer: &mut Tracer,
+    groups: &[Vec<usize>],
+    owner: &[usize],
+    cfg: &ScenarioConfig,
+    plan: &FaultPlan,
+    captures: Vec<TraceCapture>,
+) {
+    // shard id -> group index (groups partition all shards, including
+    // stripes that happen to own no slot).
+    let nshards = groups.iter().flatten().copied().max().map_or(1, |m| m + 1);
+    let mut group_of_shard = vec![usize::MAX; nshards];
+    for (gi, g) in groups.iter().enumerate() {
+        for &s in g {
+            group_of_shard[s] = gi;
+        }
+    }
+    // Per group: local seq -> global rank, seeded from the enumeration.
+    let seeds = seed_slots(cfg, plan);
+    let mut rank_of: Vec<Vec<u64>> = vec![Vec::new(); groups.len()];
+    for (rank, &slot) in seeds.iter().enumerate() {
+        rank_of[group_of_shard[owner[slot]]].push(rank as u64);
+    }
+    let mut next_rank = seeds.len() as u64;
+    let mut cursor = vec![0usize; groups.len()]; // next dispatch record
+    let mut emitted = vec![0usize; groups.len()]; // next buffered trace event
+    loop {
+        let mut best: Option<(SimTime, u64, usize)> = None;
+        for (gi, cap) in captures.iter().enumerate() {
+            if let Some(rec) = cap.log.get(cursor[gi]) {
+                let rank = rank_of[gi][rec.seq as usize];
+                if best.is_none_or(|(bt, br, _)| (rec.t, rank) < (bt, br)) {
+                    best = Some((rec.t, rank, gi));
+                }
+            }
+        }
+        let Some((_, _, gi)) = best else { break };
+        let rec = captures[gi].log[cursor[gi]];
+        cursor[gi] += 1;
+        for _ in 0..rec.pushes {
+            rank_of[gi].push(next_rank);
+            next_rank += 1;
+        }
+        for ev in &captures[gi].events[emitted[gi]..emitted[gi] + rec.traces as usize] {
+            tracer(ev);
+        }
+        emitted[gi] += rec.traces as usize;
     }
 }
 

@@ -373,6 +373,77 @@ impl Runner<ShardedQueue<Ev>> {
     pub(crate) fn bus_stats(&self) -> (u64, u64) {
         (self.core.q.cross_pushes(), self.core.q.local_pushes())
     }
+
+    /// [`Runner::run_loop`] plus a per-dispatch log, for a shard group
+    /// whose trace must later be interleaved back into the oracle's global
+    /// emission order (DESIGN.md §10). For every dispatched event the log
+    /// records the popped `(time, local seq)` key, how many pushes the
+    /// dispatch made, and how many trace events it appended to `buf` (the
+    /// group's buffering tracer sink, attached via [`Runner::set_tracer`]
+    /// before this call). The trace-merge reconstruction in
+    /// [`crate::shard`] replays these logs against the seeding enumeration
+    /// ([`seed_slots`]) to recover each event's oracle sequence number.
+    pub(crate) fn run_loop_logged(
+        &mut self,
+        buf: &std::sync::Mutex<Vec<TraceEvent>>,
+    ) -> Vec<DispatchRec> {
+        self.seed_events();
+        let end = self.cfg.end_time();
+        let mut log = Vec::new();
+        let mut traced = 0u32;
+        while let Some((t, seq)) = self.core.q.peek_key() {
+            if t > end {
+                break;
+            }
+            let pushed_before = self.core.q.total_pushed();
+            let (_, ev) = self.core.q.pop().expect("peeked event vanished");
+            self.dispatch(ev);
+            let traced_now = buf.lock().expect("trace buffer poisoned").len() as u32;
+            log.push(DispatchRec {
+                t,
+                seq,
+                pushes: (self.core.q.total_pushed() - pushed_before) as u32,
+                traces: traced_now - traced,
+            });
+            traced = traced_now;
+        }
+        log
+    }
+}
+
+/// One dispatched event in a shard group's log (see
+/// [`Runner::run_loop_logged`]).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct DispatchRec {
+    /// Dispatch time (the popped event's timestamp).
+    pub(crate) t: SimTime,
+    /// The popped event's group-local tie-break sequence number.
+    pub(crate) seq: u64,
+    /// Pushes the dispatch made (each gets the next local seq, in order).
+    pub(crate) pushes: u32,
+    /// Trace events the dispatch emitted into the group's buffer.
+    pub(crate) traces: u32,
+}
+
+/// The channel slot of every seed push, in the oracle's seeding order:
+/// beacons for nodes `0..nodes`, the source (slot 0), then per crash-churn
+/// entry a down/up pair, then one `JamOn` per jammer. Mirrors
+/// [`Runner::run_loop`]'s seeding (`seed_events`) exactly — the trace
+/// merge uses it to assign oracle sequence numbers to each group's seed
+/// pushes, so the two enumerations must never drift apart.
+pub(crate) fn seed_slots(cfg: &ScenarioConfig, plan: &FaultPlan) -> Vec<usize> {
+    let mut slots: Vec<usize> = (0..cfg.nodes).collect();
+    slots.push(0); // Ev::Source is pinned to node 0.
+    for c in &plan.churn {
+        if matches!(c.kind, ChurnKind::Crash) && (c.node as usize) < cfg.nodes {
+            slots.push(c.node as usize); // NodeDown
+            slots.push(c.node as usize); // NodeUp
+        }
+    }
+    for j in 0..plan.jammers.len() {
+        slots.push(cfg.nodes + j);
+    }
+    slots
 }
 
 impl<Q: SimQueue<Ev>> Runner<Q> {
@@ -606,6 +677,22 @@ impl<Q: SimQueue<Ev>> Runner<Q> {
         (self.collect(seed), check)
     }
 
+    /// Run to completion with the checker attached (like
+    /// [`Runner::run_checked`]) and, when [`Runner::set_obs`] was called,
+    /// the observability report alongside. One pass yields the run report,
+    /// the counter/histogram snapshot, and the conformance verdict — the
+    /// campaign store's ingestion entry point.
+    pub fn run_instrumented(mut self, seed: u64) -> (RunReport, Option<ObsReport>, CheckReport) {
+        assert!(
+            self.core.check.is_some(),
+            "run_instrumented without an attached checker (set `cfg.check`)"
+        );
+        self.run_loop();
+        let check = self.finish_check().expect("checker vanished mid-run");
+        let obs = self.finish_obs();
+        (self.collect(seed), obs, check)
+    }
+
     /// Close out the attached checker: validate the end-of-run transition
     /// matrices (C4) and assemble the report.
     pub(crate) fn finish_check(&mut self) -> Option<CheckReport> {
@@ -639,12 +726,15 @@ impl<Q: SimQueue<Ev>> Runner<Q> {
         }
     }
 
-    pub(crate) fn run_loop(&mut self) {
+    /// Seed the queue's initial events: beacons in node order, the source,
+    /// then the fault plan's scheduled actions. A scoped (shard group)
+    /// runner seeds only its owned slots, in the same global enumeration
+    /// order — the restriction of the oracle's seeding to the group.
+    /// [`seed_slots`] mirrors this enumeration; keep the two in lockstep.
+    fn seed_events(&mut self) {
         // Stagger the first beacons uniformly over one period so the
-        // network does not start in lockstep. A scoped (shard group)
-        // runner seeds only its owned slots, in the same global node
-        // order, with its stagger times read from the precomputed table —
-        // the restriction of the oracle's seeding to the group.
+        // network does not start in lockstep, with a shard group's stagger
+        // times read from the precomputed table.
         for i in 0..self.cfg.nodes {
             let at = match &self.beacon_plan {
                 Some(plan) => plan.times[i][0],
@@ -694,6 +784,10 @@ impl<Q: SimQueue<Ev>> Runner<Q> {
                 );
             }
         }
+    }
+
+    pub(crate) fn run_loop(&mut self) {
+        self.seed_events();
         let end = self.cfg.end_time();
         // Two copies of the pop/dispatch loop so the detached path stays
         // exactly the pre-instrumentation hot loop — no per-event obs
@@ -1416,6 +1510,25 @@ pub fn run_replication_checked(
     let mut runner = Runner::with_faults(cfg, protocol, seed, plan);
     runner.ensure_check();
     runner.run_checked(seed)
+}
+
+/// One fully instrumented replication: checker always attached, the obs
+/// layer attached when `obs` is `Some`. Returns the run report, the
+/// observability report (if requested), and the conformance verdict —
+/// without panicking on violations.
+pub fn run_replication_instrumented(
+    cfg: &ScenarioConfig,
+    protocol: Protocol,
+    seed: u64,
+    plan: &FaultPlan,
+    obs: Option<crate::ObsConfig>,
+) -> (RunReport, Option<ObsReport>, CheckReport) {
+    let mut runner = Runner::with_faults(cfg, protocol, seed, plan);
+    runner.ensure_check();
+    if let Some(o) = obs {
+        runner.set_obs(o);
+    }
+    runner.run_instrumented(seed)
 }
 
 #[cfg(test)]

@@ -17,10 +17,14 @@
 use std::process::exit;
 
 use rmac_engine::{
-    run_replication, JsonlSink, ObsConfig, Protocol, Runner, ScenarioConfig, TraceLevel,
+    run_replication, JsonlSink, ObsConfig, Protocol, Runner, ScenarioConfig, ShardedRunner,
+    TraceLevel,
 };
 use rmac_metrics::frame_kind_table;
-use rmac_obs::{parse_trace_line, render_timeline, Snapshot, TraceRecord};
+use rmac_obs::{
+    parse_trace_line, render_shard_balance, render_timeline, shard_balance_json, Snapshot,
+    TraceRecord,
+};
 use rmac_sim::SimTime;
 
 fn env_u64(name: &str, default: u64) -> u64 {
@@ -104,9 +108,26 @@ fn main() {
         ));
     }
 
+    // Shard-balance telemetry: re-run the same scenario through the
+    // sharded engine and surface its per-group scheduling rows. The
+    // counters are deterministic; only wall_ns is telemetry.
+    let (sharded, stats) =
+        ShardedRunner::new(&cfg.clone().with_shards(4), Protocol::Rmac, seed).run_with_stats();
+    if sharded != base {
+        fail("sharded RunReport differs from the serial oracle");
+    }
+    let balance = stats.balance_rows();
+    std::fs::write(
+        "results/obs/shard_balance.json",
+        shard_balance_json(&balance) + "\n",
+    )
+    .expect("write shard_balance.json");
+
     println!("{}", obs.render());
     println!("{}", frame_kind_table(&report).render());
     println!("{}", render_timeline(&records, 5_000_000, 40));
+    println!("shard balance (4 shards -> {} groups):", stats.groups);
+    println!("{}", render_shard_balance(&balance));
     println!(
         "ok: RunReport bit-identical, {} trace lines written, 0 dropped \
          (artifacts in results/obs/)",

@@ -4,43 +4,10 @@ use rayon::prelude::*;
 use rmac_engine::{run_replication, Protocol, ScenarioConfig};
 use rmac_metrics::RunReport;
 
-/// The paper's three mobility scenarios (§4.1.2).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub enum ScenarioKind {
-    /// No node is moving.
-    Stationary,
-    /// Random waypoint, 0–4 m/s, 10 s pauses.
-    Speed1,
-    /// Random waypoint, 0–8 m/s, 5 s pauses.
-    Speed2,
-}
-
-impl ScenarioKind {
-    /// All three, in the paper's order.
-    pub const ALL: [ScenarioKind; 3] = [
-        ScenarioKind::Stationary,
-        ScenarioKind::Speed1,
-        ScenarioKind::Speed2,
-    ];
-
-    /// Label used in reports and file names.
-    pub fn label(self) -> &'static str {
-        match self {
-            ScenarioKind::Stationary => "stationary",
-            ScenarioKind::Speed1 => "speed1",
-            ScenarioKind::Speed2 => "speed2",
-        }
-    }
-
-    /// The paper-parameterised scenario config at one source rate.
-    pub fn config(self, rate: f64) -> ScenarioConfig {
-        match self {
-            ScenarioKind::Stationary => ScenarioConfig::paper_stationary(rate),
-            ScenarioKind::Speed1 => ScenarioConfig::paper_speed1(rate),
-            ScenarioKind::Speed2 => ScenarioConfig::paper_speed2(rate),
-        }
-    }
-}
+// The scenario axis and the panic-isolating pool moved to `rmac-campaign`
+// (the campaign layer builds on both); re-exported here so experiment
+// binaries keep their historical import paths.
+pub use rmac_campaign::{try_tasks, ScenarioKind};
 
 /// A sweep over (scenario × rate × seed × protocol).
 #[derive(Clone, Debug)]
@@ -151,44 +118,6 @@ impl SweepResults {
         v.sort_by(|a, b| a.partial_cmp(b).expect("rate NaN"));
         v
     }
-}
-
-/// Best-effort rendering of a panic payload.
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
-    payload
-        .downcast_ref::<&str>()
-        .map(|s| (*s).to_string())
-        .or_else(|| payload.downcast_ref::<String>().cloned())
-        .unwrap_or_else(|| "non-string panic payload".to_string())
-}
-
-/// Run an arbitrary task list in parallel, turning any panic inside a
-/// worker into an `Err` prefixed by `label(task)`.
-///
-/// The vendored rayon (like upstream) propagates a worker panic at the
-/// scope join, which tears the whole process down mid-table with an
-/// unhelpful backtrace — and, worse, a binary that already printed
-/// partial results can look like it succeeded. Catching the unwind
-/// *inside* the closure keeps every other task running and lets the
-/// caller report the failure and exit nonzero deliberately.
-/// [`try_replications`] is the common (protocol, seed) specialization;
-/// binaries with richer task tuples (fault plans, jammer grids) pass
-/// their own `label`.
-pub fn try_tasks<T, R, F, L>(tasks: &[T], run: F, label: L) -> Result<Vec<R>, String>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-    L: Fn(&T) -> String + Sync,
-{
-    let outcomes: Vec<Result<R, String>> = tasks
-        .par_iter()
-        .map(|t| {
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(t)))
-                .map_err(|payload| format!("{}: {}", label(t), panic_message(payload)))
-        })
-        .collect();
-    outcomes.into_iter().collect()
 }
 
 /// Run one replication per seed in parallel, turning any panic inside a

@@ -32,6 +32,8 @@
 //!   JSON rendering.
 //! * [`jsonl`]/[`render`] — the flat-JSONL parser and the Fig. 4-style
 //!   timeline renderer behind the `obs_report` bin.
+//! * [`shard`] — [`ShardGroupRow`]/[`render_shard_balance`], the sharded
+//!   engine's per-group scheduling balance table.
 
 pub mod hist;
 pub mod jsonl;
@@ -40,6 +42,7 @@ pub mod node;
 pub mod registry;
 pub mod render;
 pub mod report;
+pub mod shard;
 pub mod snapshot;
 
 pub use hist::LogHistogram;
@@ -48,4 +51,5 @@ pub use node::{frame_kind_index, NodeObs, FRAME_KINDS, FRAME_KIND_LABELS, TONES,
 pub use registry::{CounterId, GaugeId, HistId, Registry};
 pub use render::{parse_trace_line, render_timeline, TraceRecord};
 pub use report::ObsReport;
+pub use shard::{render_shard_balance, shard_balance_json, ShardGroupRow};
 pub use snapshot::{Sampler, Snapshot};

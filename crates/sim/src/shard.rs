@@ -155,6 +155,17 @@ impl<E> ShardedQueue<E> {
         self.local_pushes
     }
 
+    /// The `(time, seq)` key of the globally earliest pending event, if
+    /// any. The sharded engine's trace-merge path peeks the key before
+    /// popping so it can log each dispatched event's tie-break sequence
+    /// number (the reconstruction handle for the oracle's global order).
+    pub fn peek_key(&self) -> Option<(SimTime, u64)> {
+        if self.queues.len() == 1 {
+            return self.queues[0].peek_key();
+        }
+        self.queues.iter().filter_map(|q| q.peek_key()).min()
+    }
+
     /// The local index of the sub-queue holding the globally earliest
     /// `(time, seq)` head, if any event is pending.
     fn earliest_shard(&self) -> Option<usize> {
@@ -322,6 +333,18 @@ mod tests {
         // sub-queue last popped at 1 µs.
         q.push(SimTime::from_micros(5), 2);
         assert_eq!(q.peek_time(), Some(SimTime::from_micros(5)));
+    }
+
+    #[test]
+    fn peek_key_reports_the_global_head() {
+        let mut q = two_shards();
+        assert_eq!(q.peek_key(), None);
+        let t = SimTime::from_micros(4);
+        q.push(t, 1); // seq 0, shard 1
+        q.push(t, 0); // seq 1, shard 0: same instant, later seq
+        assert_eq!(q.peek_key(), Some((t, 0)));
+        q.pop();
+        assert_eq!(q.peek_key(), Some((t, 1)));
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! ```
 
 pub use rmac_baselines as baselines;
+pub use rmac_campaign as campaign;
 pub use rmac_check as check;
 pub use rmac_core as mac;
 pub use rmac_engine as engine;

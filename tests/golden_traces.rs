@@ -122,7 +122,7 @@ fn trim(mut cfg: ScenarioConfig, name: &str) -> ScenarioConfig {
     cfg.with_check()
 }
 
-/// The three canonical golden scenarios: (golden file, scenario, seed,
+/// The four canonical golden scenarios: (golden file, scenario, seed,
 /// fault plan). Shared by the oracle regression tests and the sharded
 /// replay matrix.
 fn golden_scenarios() -> Vec<(&'static str, ScenarioConfig, u64, FaultPlan)> {
@@ -168,10 +168,27 @@ fn golden_scenarios() -> Vec<(&'static str, ScenarioConfig, u64, FaultPlan)> {
         }],
         ..FaultPlan::none()
     };
+    let clusters = trim(
+        ScenarioConfig::paper_stationary(5.0)
+            .with_packets(3)
+            .with_positions(vec![
+                // Cluster A (left stripe): source plus two receivers.
+                Pos::new(40.0, 100.0),
+                Pos::new(90.0, 100.0),
+                Pos::new(40.0, 160.0),
+                // Cluster B (right stripe): radio-isolated bystanders,
+                // > 75 m from everything in A, so two shards decouple
+                // into two causally closed groups.
+                Pos::new(420.0, 100.0),
+                Pos::new(460.0, 140.0),
+            ]),
+        "golden-decoupled-clusters",
+    );
     vec![
         ("one_hop_multicast.jsonl", one_hop, 7, FaultPlan::none()),
         ("hidden_terminal.jsonl", hidden, 11, FaultPlan::none()),
         ("tone_jam.jsonl", jam_cfg, 13, jam_plan),
+        ("decoupled_clusters.jsonl", clusters, 17, FaultPlan::none()),
     ]
 }
 
@@ -211,12 +228,44 @@ fn golden_tone_jam() {
     assert_golden(name, &trace);
 }
 
+/// Two radio-isolated clusters: under two shards the coupling analysis
+/// splits them into separate groups, so this golden exercises the sharded
+/// engine's per-group trace buffers and the `(time, seq)` merge rather
+/// than the single-group pass-through.
+#[test]
+fn golden_decoupled_clusters() {
+    let (name, cfg, seed, plan) = golden_scenarios().swap_remove(3);
+    let trace = capture(&cfg, Protocol::Rmac, seed, &plan);
+    assert_golden(name, &trace);
+
+    // The merge path must really be live: with a tracer attached and two
+    // shards this scenario must still decouple into >1 group (the tracer
+    // no longer forces the serial fallback) and reproduce the oracle.
+    let (lines, tracer) = frame_sink();
+    let mut runner =
+        ShardedRunner::with_faults(&cfg.clone().with_shards(2), Protocol::Rmac, seed, &plan);
+    runner.set_tracer(tracer);
+    let (_, stats) = runner.run_with_stats();
+    assert!(
+        stats.groups > 1,
+        "decoupled clusters collapsed to one group (groups={}); \
+         the merge path is not being exercised",
+        stats.groups
+    );
+    assert_eq!(
+        drain_sink(lines),
+        trace,
+        "{name}: merged multi-group trace diverged from the oracle"
+    );
+}
+
 /// The sharded engine's trace contract: every golden scenario replays
 /// **byte-stable** under shards ∈ {1, 2, 4, 8}. Traces are compared both
 /// against a fresh oracle capture (the live contract) and against the
 /// committed golden file (so a simultaneous oracle+sharded drift cannot
-/// slip through). Tracing forces deterministic serial emission inside the
-/// sharded engine, which is exactly what this matrix pins.
+/// slip through). Multi-group runs buffer trace events per group and
+/// merge them in global `(time, seq)` order, which is exactly what this
+/// matrix pins.
 #[test]
 fn golden_traces_replay_byte_stable_under_sharding() {
     let regen = std::env::var("RMAC_REGEN_GOLDEN").ok().as_deref() == Some("1");
