@@ -29,6 +29,10 @@ echo "==> shard stage (sharded-engine equivalence proptests + bench_shard --smok
 cargo test -q --release --test shard_equivalence --test shard_tiebreak
 cargo run -q --release -p rmac-experiments --bin bench_shard -- --smoke
 
+echo "==> queue stage (calendar/heap differential proptests + bench_phy --smoke A/B)"
+cargo test -q --release --test queue_equivalence
+cargo run -q --release -p rmac-experiments --bin bench_phy -- --smoke
+
 echo "==> campaign stage (quick sweep + resume law + regression gate + dashboard)"
 cargo test -q --release --test campaign_resume
 cargo run -q --release -p rmac-experiments --bin campaign -- run --quick

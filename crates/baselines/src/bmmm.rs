@@ -16,6 +16,8 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use std::sync::Arc;
+
 use bytes::Bytes;
 use rmac_core::api::{MacContext, MacService, TimerKind, TxOutcome, TxRequest};
 use rmac_core::config::MacConfig;
@@ -381,7 +383,7 @@ impl Bmmm {
         ctx.schedule(SIFS, TimerKind::RespIfs, gen);
     }
 
-    fn handle_frame(&mut self, ctx: &mut dyn MacContext, frame: &Frame, ok: bool) {
+    fn handle_frame(&mut self, ctx: &mut dyn MacContext, frame: &Arc<Frame>, ok: bool) {
         if !ok {
             return;
         }
@@ -448,12 +450,12 @@ impl Bmmm {
                 self.recent_data.insert(frame.src, frame.seq);
                 if self.last_seq.get(&frame.src) != Some(&frame.seq) {
                     self.last_seq.insert(frame.src, frame.seq);
-                    ctx.deliver(frame.clone());
+                    ctx.deliver(frame);
                     ctx.counters().delivered_up += 1;
                 }
             }
             FrameKind::DataUnreliable if addressed => {
-                ctx.deliver(frame.clone());
+                ctx.deliver(frame);
                 ctx.counters().delivered_up += 1;
             }
             _ => {}

@@ -15,6 +15,8 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use std::sync::Arc;
+
 use bytes::Bytes;
 use rmac_core::api::{MacContext, MacService, TimerKind, TxOutcome, TxRequest};
 use rmac_core::config::MacConfig;
@@ -270,7 +272,7 @@ impl Bmw {
         ctx.schedule(SIFS, TimerKind::RespIfs, gen);
     }
 
-    fn handle_frame(&mut self, ctx: &mut dyn MacContext, frame: &Frame, ok: bool) {
+    fn handle_frame(&mut self, ctx: &mut dyn MacContext, frame: &Arc<Frame>, ok: bool) {
         if !ok {
             return;
         }
@@ -331,7 +333,7 @@ impl Bmw {
                     let exp = self.expected.entry(frame.src).or_insert(0);
                     if frame.seq >= *exp {
                         *exp = frame.seq + 1;
-                        ctx.deliver(frame.clone());
+                        ctx.deliver(frame);
                         ctx.counters().delivered_up += 1;
                     }
                     // ACK only if this DATA answers our CTS.
@@ -355,7 +357,7 @@ impl Bmw {
                     }
                 }
             FrameKind::DataUnreliable if addressed => {
-                ctx.deliver(frame.clone());
+                ctx.deliver(frame);
                 ctx.counters().delivered_up += 1;
             }
             _ => {}

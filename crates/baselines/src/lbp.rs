@@ -16,6 +16,8 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use std::sync::Arc;
+
 use bytes::Bytes;
 use rmac_core::api::{MacContext, MacService, TimerKind, TxOutcome, TxRequest};
 use rmac_core::config::MacConfig;
@@ -259,7 +261,7 @@ impl Lbp {
         ctx.schedule(SIFS, TimerKind::RespIfs, gen);
     }
 
-    fn handle_frame(&mut self, ctx: &mut dyn MacContext, frame: &Frame, ok: bool) {
+    fn handle_frame(&mut self, ctx: &mut dyn MacContext, frame: &Arc<Frame>, ok: bool) {
         // NAK-on-corruption: a non-leader in a session that sees a broken
         // frame jams the leader's ACK slot.
         if !ok {
@@ -317,7 +319,7 @@ impl Lbp {
             FrameKind::DataReliable if addressed => {
                 if self.last_seq.get(&frame.src) != Some(&frame.seq) {
                     self.last_seq.insert(frame.src, frame.seq);
-                    ctx.deliver(frame.clone());
+                    ctx.deliver(frame);
                     ctx.counters().delivered_up += 1;
                 }
                 if let Some(rx) = self.rx {
@@ -341,7 +343,7 @@ impl Lbp {
                 self.attempt_failed(ctx);
             }
             FrameKind::DataUnreliable if addressed => {
-                ctx.deliver(frame.clone());
+                ctx.deliver(frame);
                 ctx.counters().delivered_up += 1;
             }
             _ => {}

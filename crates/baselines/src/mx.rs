@@ -24,6 +24,8 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use std::sync::Arc;
+
 use bytes::Bytes;
 use rmac_core::api::{MacContext, MacService, TimerKind, TxOutcome, TxRequest};
 use rmac_core::config::MacConfig;
@@ -247,7 +249,7 @@ impl Mx {
         self.try_progress(ctx);
     }
 
-    fn handle_frame(&mut self, ctx: &mut dyn MacContext, frame: &Frame, ok: bool) {
+    fn handle_frame(&mut self, ctx: &mut dyn MacContext, frame: &Arc<Frame>, ok: bool) {
         if !ok {
             // The negative feedback path: a session member that saw the
             // expected data frame arrive broken raises the NAK tone.
@@ -299,7 +301,7 @@ impl Mx {
             FrameKind::DataReliable if addressed => {
                 if self.last_seq.get(&frame.src) != Some(&frame.seq) {
                     self.last_seq.insert(frame.src, frame.seq);
-                    ctx.deliver(frame.clone());
+                    ctx.deliver(frame);
                     ctx.counters().delivered_up += 1;
                 }
                 if let Some(rx) = self.rx {
@@ -312,7 +314,7 @@ impl Mx {
                 }
             }
             FrameKind::DataUnreliable if addressed => {
-                ctx.deliver(frame.clone());
+                ctx.deliver(frame);
                 ctx.counters().delivered_up += 1;
             }
             _ => {}

@@ -659,7 +659,7 @@ mod tests {
     fn rx(node: u16, frame: &Frame) -> Indication {
         Indication::FrameRx {
             node: NodeId(node),
-            frame: frame.clone(),
+            frame: frame.clone().into(),
             ok: true,
         }
     }
@@ -682,7 +682,7 @@ mod tests {
             us(292),
             &Indication::TxDone {
                 node: NodeId(0),
-                frame: m.clone(),
+                frame: m.clone().into(),
                 aborted: false,
             },
         );
@@ -786,7 +786,7 @@ mod tests {
             us(302),
             &Indication::TxDone {
                 node: NodeId(0),
-                frame: m,
+                frame: m.into(),
                 aborted: false,
             },
         );
@@ -804,7 +804,7 @@ mod tests {
             us(100) + air,
             &Indication::TxDone {
                 node: NodeId(0),
-                frame: m.clone(),
+                frame: m.clone().into(),
                 aborted: false,
             },
         );
@@ -813,7 +813,7 @@ mod tests {
             us(1040),
             &Indication::TxDone {
                 node: NodeId(0),
-                frame: m,
+                frame: m.into(),
                 aborted: true,
             },
         );
@@ -842,7 +842,7 @@ mod tests {
             us(100) + air,
             &Indication::TxDone {
                 node: NodeId(0),
-                frame: m.clone(),
+                frame: m.clone().into(),
                 aborted: false,
             },
         );

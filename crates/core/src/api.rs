@@ -9,6 +9,8 @@
 //! protocol unit-testable against a scripted mock context and lets them all
 //! share one engine.
 
+use std::sync::Arc;
+
 use bytes::Bytes;
 use rmac_phy::{Indication, Tone, ToneLog};
 use rmac_sim::{SimRng, SimTime};
@@ -96,8 +98,10 @@ pub trait MacContext {
     fn open_tone_watch(&mut self, tone: Tone);
     /// Stop recording and return the log.
     fn close_tone_watch(&mut self, tone: Tone) -> ToneLog;
-    /// Hand a received data frame up to the network layer.
-    fn deliver(&mut self, frame: Frame);
+    /// Hand a received data frame up to the network layer. Takes the
+    /// shared handle from the `FrameRx` indication so the engine can
+    /// retain the frame with a refcount bump instead of a deep clone.
+    fn deliver(&mut self, frame: &Arc<Frame>);
     /// Report the final outcome of a transmit request.
     fn notify(&mut self, token: u64, outcome: TxOutcome);
     /// The node's current one-hop neighbor set, as known to the network

@@ -17,6 +17,7 @@
 //! below and exercised one by one in this module's tests.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use bytes::Bytes;
 use rmac_phy::{Indication, Tone};
@@ -409,7 +410,7 @@ impl Rmac {
     // Frame handling
     // -----------------------------------------------------------------
 
-    fn handle_frame(&mut self, ctx: &mut dyn MacContext, frame: &Frame, ok: bool) {
+    fn handle_frame(&mut self, ctx: &mut dyn MacContext, frame: &Arc<Frame>, ok: bool) {
         if !ok {
             // A corrupted frame still ends a receiver session: whatever was
             // arriving was not (or no longer is) the awaited data frame.
@@ -461,7 +462,7 @@ impl Rmac {
         self.set_state(State::WfRdata);
     }
 
-    fn handle_reliable_data(&mut self, ctx: &mut dyn MacContext, frame: &Frame) {
+    fn handle_reliable_data(&mut self, ctx: &mut dyn MacContext, frame: &Arc<Frame>) {
         match self.state {
             State::WfRdata => {
                 let session_ok = self
@@ -470,7 +471,7 @@ impl Rmac {
                     .is_some_and(|rx| rx.sender == frame.src && frame.addressed_to(self.id));
                 if session_ok {
                     let slot = self.rx.as_ref().expect("session checked").slot;
-                    ctx.deliver(frame.clone());
+                    ctx.deliver(frame);
                     ctx.counters().delivered_up += 1;
                     // Reply the ABT in our assigned slot (step 5 of §3.3.2).
                     let gen = self.t_abt_start.arm();
@@ -485,19 +486,19 @@ impl Rmac {
                 // out: accept the data (the net layer deduplicates), but
                 // without a session there is no ABT slot to answer in.
                 if frame.addressed_to(self.id) => {
-                    ctx.deliver(frame.clone());
+                    ctx.deliver(frame);
                     ctx.counters().delivered_up += 1;
                 }
             _ => {}
         }
     }
 
-    fn handle_unreliable_data(&mut self, ctx: &mut dyn MacContext, frame: &Frame) {
+    fn handle_unreliable_data(&mut self, ctx: &mut dyn MacContext, frame: &Arc<Frame>) {
         if !matches!(self.state, State::Idle | State::Backoff) {
             return;
         }
         if frame.addressed_to(self.id) {
-            ctx.deliver(frame.clone());
+            ctx.deliver(frame);
             ctx.counters().delivered_up += 1;
         }
     }

@@ -7,6 +7,7 @@
 pub mod fuzz;
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use rmac_phy::{Indication, Tone, ToneLog};
 use rmac_sim::{SimRng, SimTime};
@@ -42,7 +43,7 @@ pub struct Mock {
     /// Armed timers: (absolute fire time, kind, generation).
     pub timers: VecDeque<(SimTime, TimerKind, u64)>,
     /// Frames delivered up to the (mock) network layer.
-    pub delivered: Vec<Frame>,
+    pub delivered: Vec<Arc<Frame>>,
     /// Outcome notifications, in order.
     pub notifications: Vec<(u64, TxOutcome)>,
     /// The node's RNG.
@@ -175,7 +176,7 @@ impl Mock {
             self,
             &Indication::TxDone {
                 node: frame.src,
-                frame,
+                frame: frame.into(),
                 aborted,
             },
         );
@@ -187,7 +188,7 @@ impl Mock {
             self,
             &Indication::FrameRx {
                 node: me,
-                frame,
+                frame: frame.into(),
                 ok,
             },
         );
@@ -235,8 +236,8 @@ impl MacContext for Mock {
             edges: vec![],
         })
     }
-    fn deliver(&mut self, frame: Frame) {
-        self.delivered.push(frame);
+    fn deliver(&mut self, frame: &Arc<Frame>) {
+        self.delivered.push(Arc::clone(frame));
     }
     fn notify(&mut self, token: u64, outcome: TxOutcome) {
         self.notifications.push((token, outcome));

@@ -84,6 +84,34 @@ impl Protocol {
     }
 }
 
+/// Which event-queue implementation drives a replication's event loop.
+///
+/// Both implementations pop in the identical global `(time, seq)` order, so
+/// every report is bit-identical either way (enforced by
+/// `tests/queue_equivalence.rs`); the choice is purely a performance and
+/// differential-testing axis.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum QueueKind {
+    /// The calendar/ladder queue ([`rmac_sim::CalendarQueue`]): O(1)
+    /// amortized push/pop tuned to the 15 µs tone-window cadence. The
+    /// default.
+    #[default]
+    Calendar,
+    /// The binary-heap oracle ([`rmac_sim::EventQueue`]), retained for
+    /// differential testing and A/B benchmarking.
+    Heap,
+}
+
+impl QueueKind {
+    /// Human-readable label used in bench output and fuzz reproducers.
+    pub fn label(self) -> &'static str {
+        match self {
+            QueueKind::Calendar => "calendar",
+            QueueKind::Heap => "heap",
+        }
+    }
+}
+
 /// One experiment's parameters. Defaults are the paper's §4.1 environment.
 #[derive(Clone, Debug)]
 pub struct ScenarioConfig {
@@ -140,6 +168,10 @@ pub struct ScenarioConfig {
     /// any value produces bit-identical reports (DESIGN.md §10, enforced
     /// by `tests/shard_equivalence.rs`).
     pub shards: usize,
+    /// Event-queue implementation (DESIGN.md §12). The calendar queue is
+    /// the default; the heap oracle exists for differential testing and
+    /// A/B benchmarking, and either choice yields bit-identical reports.
+    pub queue: QueueKind,
 }
 
 impl ScenarioConfig {
@@ -169,6 +201,7 @@ impl ScenarioConfig {
             phy_grid: true,
             check: false,
             shards: 1,
+            queue: QueueKind::default(),
         }
     }
 
@@ -243,6 +276,20 @@ impl ScenarioConfig {
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards.max(1);
         self
+    }
+
+    /// Pick the event-queue implementation. Reports stay bit-identical
+    /// for either kind.
+    pub fn with_queue(mut self, queue: QueueKind) -> Self {
+        self.queue = queue;
+        self
+    }
+
+    /// Drive the event loop with the binary-heap oracle instead of the
+    /// calendar queue (differential testing and A/B benchmarking; results
+    /// are bit-identical).
+    pub fn with_heap_queue(self) -> Self {
+        self.with_queue(QueueKind::Heap)
     }
 
     /// The interval between source packets.

@@ -24,7 +24,7 @@ pub mod trace;
 pub mod transport;
 pub mod world;
 
-pub use config::{Protocol, ScenarioConfig};
+pub use config::{Protocol, QueueKind, ScenarioConfig};
 pub use obs::ObsConfig;
 pub use rmac_check::{CheckReport, Invariant, Violation};
 pub use rmac_faults::FaultPlan;

@@ -55,9 +55,9 @@ use rmac_faults::FaultPlan;
 use rmac_metrics::RunReport;
 use rmac_mobility::{MobilityKind, Pos};
 use rmac_phy::FrameTallies;
-use rmac_sim::{EventQueue, ShardedQueue, SimRng, SimTime};
+use rmac_sim::{CalendarQueue, EventQueue, SeqQueue, ShardedQueue, SimRng, SimTime};
 
-use crate::config::{Protocol, ScenarioConfig};
+use crate::config::{Protocol, QueueKind, ScenarioConfig};
 use crate::trace::{TraceEvent, Tracer};
 use crate::world::{
     build_motions, collect_report, seed_slots, BeaconPlan, DispatchRec, Ev, Harvest, Runner, Scope,
@@ -342,7 +342,21 @@ impl ShardedRunner {
         (report, check.expect("checked run lost its report"))
     }
 
-    fn execute(mut self, collect_check: bool) -> (RunReport, Option<CheckReport>, ShardStats) {
+    /// Dispatch on `cfg.queue`: the sharded engine runs its per-group
+    /// sub-queues on either the calendar queue or the heap oracle, with
+    /// bit-identical results (the shared front-end seq counter pins the
+    /// global pop order regardless of sub-queue kind).
+    fn execute(self, collect_check: bool) -> (RunReport, Option<CheckReport>, ShardStats) {
+        match self.cfg.queue {
+            QueueKind::Calendar => self.execute_with::<CalendarQueue<Ev>>(collect_check),
+            QueueKind::Heap => self.execute_with::<EventQueue<Ev>>(collect_check),
+        }
+    }
+
+    fn execute_with<SQ: SeqQueue<Ev>>(
+        mut self,
+        collect_check: bool,
+    ) -> (RunReport, Option<CheckReport>, ShardStats) {
         let shards = self.cfg.shards.max(1);
         let master = SimRng::new(self.seed);
         let mut motions = build_motions(&self.cfg, &self.plan, &master);
@@ -389,7 +403,7 @@ impl ShardedRunner {
             let owner = owner.clone();
             let router = move |ev: &Ev| local_of[owner[ev.home_slot(nodes)]];
             let per_shard = group.len().max(1);
-            let mut runner: Runner<ShardedQueue<Ev>> = Runner::assemble(
+            let mut runner: Runner<ShardedQueue<Ev, SQ>> = Runner::assemble(
                 cfg,
                 protocol,
                 seed,

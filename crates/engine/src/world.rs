@@ -1,5 +1,7 @@
 //! The event loop: one simulation replication.
 
+use std::sync::Arc;
+
 use bytes::Bytes;
 use rmac_check::{CheckConfig, CheckReport, Checker};
 use rmac_core::api::{MacContext, MacCounters, MacService, TimerKind, TxOutcome, TxRequest};
@@ -10,10 +12,10 @@ use rmac_net::{BlessConfig, NetLayer};
 use rmac_obs::{frame_kind_index, ObsReport, Registry, Snapshot};
 use rmac_phy::FrameTallies;
 use rmac_phy::{Channel, ChannelConfig, IndexMode, Indication, PhyEvent, Tone, ToneLog};
-use rmac_sim::{EventQueue, ShardedQueue, SimQueue, SimRng, SimTime};
+use rmac_sim::{CalendarQueue, EventQueue, SeqQueue, ShardedQueue, SimQueue, SimRng, SimTime};
 use rmac_wire::{consts::BYTE_TIME, Dest, Frame, NodeId};
 
-use crate::config::{Protocol, ScenarioConfig};
+use crate::config::{Protocol, QueueKind, ScenarioConfig};
 use crate::obs::{class_of, timer_idx, EngineObs, ObsConfig, TIMER_LABELS};
 use crate::trace::{TraceEvent, TraceWhat, Tracer};
 
@@ -217,7 +219,7 @@ struct Ctx<'a, Q: SimQueue<Ev>> {
     /// callbacks never ask, so the (alloc + sort) of a fresh-neighbor
     /// snapshot is paid only when [`MacContext::neighbors`] is called.
     net: &'a NetLayer,
-    delivered: &'a mut Vec<Frame>,
+    delivered: &'a mut Vec<Arc<Frame>>,
     outcomes: &'a mut Vec<(u64, TxOutcome)>,
 }
 
@@ -283,8 +285,8 @@ impl<Q: SimQueue<Ev>> MacContext for Ctx<'_, Q> {
         let now = self.core.q.now();
         self.core.channel.close_watch(self.node, tone, now)
     }
-    fn deliver(&mut self, frame: Frame) {
-        self.delivered.push(frame);
+    fn deliver(&mut self, frame: &Arc<Frame>) {
+        self.delivered.push(Arc::clone(frame));
     }
     fn notify(&mut self, token: u64, outcome: TxOutcome) {
         self.outcomes.push((token, outcome));
@@ -311,12 +313,13 @@ struct FaultRt {
 
 /// One assembled replication: node stacks plus the event loop.
 ///
-/// Generic over the queue implementation: the single-queue oracle is
-/// `Runner<EventQueue<Ev>>` (the default, and the only form the public
-/// constructors build), while the sharded engine instantiates per-group
-/// runners over [`ShardedQueue`]. Monomorphization keeps the oracle's hot
-/// loop exactly the pre-sharding machine code.
-pub struct Runner<Q: SimQueue<Ev> = EventQueue<Ev>> {
+/// Generic over the queue implementation: the default (and what
+/// [`Runner::new`] builds) runs on the [`CalendarQueue`]; the heap oracle
+/// stays available through [`Runner::new_heap`] for differential testing;
+/// and the sharded engine instantiates per-group runners over
+/// [`ShardedQueue`] with either sub-queue kind. Monomorphization keeps
+/// each variant's hot loop branch-free over the choice.
+pub struct Runner<Q: SimQueue<Ev> = CalendarQueue<Ev>> {
     core: WorldCore<Q>,
     macs: Vec<Box<dyn MacService>>,
     nets: Vec<NetLayer>,
@@ -337,8 +340,9 @@ pub struct Runner<Q: SimQueue<Ev> = EventQueue<Ev>> {
     beacon_plan: Option<BeaconPlan>,
 }
 
-impl Runner<EventQueue<Ev>> {
-    /// Build a replication from a scenario, protocol and seed.
+impl Runner<CalendarQueue<Ev>> {
+    /// Build a replication from a scenario, protocol and seed, on the
+    /// default [`CalendarQueue`].
     pub fn new(cfg: &ScenarioConfig, protocol: Protocol, seed: u64) -> Runner {
         Runner::with_faults(cfg, protocol, seed, &FaultPlan::none())
     }
@@ -360,6 +364,33 @@ impl Runner<EventQueue<Ev>> {
             protocol,
             seed,
             plan,
+            CalendarQueue::with_capacity,
+            None,
+            None,
+        )
+    }
+}
+
+impl Runner<EventQueue<Ev>> {
+    /// Build a replication on the binary-heap oracle queue — the
+    /// differential-testing counterpart of [`Runner::new`]. Reports are
+    /// bit-identical to the calendar-queue runner's.
+    pub fn new_heap(cfg: &ScenarioConfig, protocol: Protocol, seed: u64) -> Runner<EventQueue<Ev>> {
+        Runner::with_faults_heap(cfg, protocol, seed, &FaultPlan::none())
+    }
+
+    /// [`Runner::with_faults`] on the heap oracle queue.
+    pub fn with_faults_heap(
+        cfg: &ScenarioConfig,
+        protocol: Protocol,
+        seed: u64,
+        plan: &FaultPlan,
+    ) -> Runner<EventQueue<Ev>> {
+        Runner::assemble(
+            cfg,
+            protocol,
+            seed,
+            plan,
             EventQueue::with_capacity,
             None,
             None,
@@ -367,7 +398,7 @@ impl Runner<EventQueue<Ev>> {
     }
 }
 
-impl Runner<ShardedQueue<Ev>> {
+impl<SQ: SeqQueue<Ev>> Runner<ShardedQueue<Ev, SQ>> {
     /// Cross-shard bus traffic of a sharded group runner:
     /// `(cross_pushes, local_pushes)`.
     pub(crate) fn bus_stats(&self) -> (u64, u64) {
@@ -793,11 +824,9 @@ impl<Q: SimQueue<Ev>> Runner<Q> {
         // exactly the pre-instrumentation hot loop — no per-event obs
         // branch, and `dispatch` keeps its inlining context.
         if self.core.obs.is_none() {
-            while let Some(t) = self.core.q.peek_time() {
-                if t > end {
-                    break;
-                }
-                let (_, ev) = self.core.q.pop().expect("peeked event vanished");
+            // Fused head-check + pop: one key comparison per event decides
+            // both "is it due" and "which window half wins".
+            while let Some((_, ev)) = self.core.q.pop_at_or_before(end) {
                 self.dispatch(ev);
             }
         } else {
@@ -1183,7 +1212,12 @@ impl<Q: SimQueue<Ev>> Runner<Q> {
 
     /// Route MAC deliveries up to the network layer and send any resulting
     /// forwards back down.
-    fn post_mac(&mut self, node: NodeId, delivered: Vec<Frame>, outcomes: Vec<(u64, TxOutcome)>) {
+    fn post_mac(
+        &mut self,
+        node: NodeId,
+        delivered: Vec<Arc<Frame>>,
+        outcomes: Vec<(u64, TxOutcome)>,
+    ) {
         let now = self.core.q.now();
         // Positive acknowledgments are cross-layer liveness evidence for
         // the tree (failures are already accounted in the MAC counters).
@@ -1480,9 +1514,10 @@ pub(crate) fn collect_report(
     }
 }
 
-/// Run one replication and return its report.
+/// Run one replication and return its report. `cfg.queue` picks the event
+/// queue; either kind yields the identical report.
 pub fn run_replication(cfg: &ScenarioConfig, protocol: Protocol, seed: u64) -> RunReport {
-    Runner::new(cfg, protocol, seed).run(seed)
+    run_replication_with_faults(cfg, protocol, seed, &FaultPlan::none())
 }
 
 /// Run one replication under a fault plan and return its report.
@@ -1495,7 +1530,10 @@ pub fn run_replication_with_faults(
     seed: u64,
     plan: &FaultPlan,
 ) -> RunReport {
-    Runner::with_faults(cfg, protocol, seed, plan).run(seed)
+    match cfg.queue {
+        QueueKind::Calendar => Runner::with_faults(cfg, protocol, seed, plan).run(seed),
+        QueueKind::Heap => Runner::with_faults_heap(cfg, protocol, seed, plan).run(seed),
+    }
 }
 
 /// Run one replication with the conformance checker attached (regardless
@@ -1507,9 +1545,14 @@ pub fn run_replication_checked(
     seed: u64,
     plan: &FaultPlan,
 ) -> (RunReport, CheckReport) {
-    let mut runner = Runner::with_faults(cfg, protocol, seed, plan);
-    runner.ensure_check();
-    runner.run_checked(seed)
+    fn go<Q: SimQueue<Ev>>(mut runner: Runner<Q>, seed: u64) -> (RunReport, CheckReport) {
+        runner.ensure_check();
+        runner.run_checked(seed)
+    }
+    match cfg.queue {
+        QueueKind::Calendar => go(Runner::with_faults(cfg, protocol, seed, plan), seed),
+        QueueKind::Heap => go(Runner::with_faults_heap(cfg, protocol, seed, plan), seed),
+    }
 }
 
 /// One fully instrumented replication: checker always attached, the obs
@@ -1523,12 +1566,25 @@ pub fn run_replication_instrumented(
     plan: &FaultPlan,
     obs: Option<crate::ObsConfig>,
 ) -> (RunReport, Option<ObsReport>, CheckReport) {
-    let mut runner = Runner::with_faults(cfg, protocol, seed, plan);
-    runner.ensure_check();
-    if let Some(o) = obs {
-        runner.set_obs(o);
+    fn go<Q: SimQueue<Ev>>(
+        mut runner: Runner<Q>,
+        seed: u64,
+        obs: Option<crate::ObsConfig>,
+    ) -> (RunReport, Option<ObsReport>, CheckReport) {
+        runner.ensure_check();
+        if let Some(o) = obs {
+            runner.set_obs(o);
+        }
+        runner.run_instrumented(seed)
     }
-    runner.run_instrumented(seed)
+    match cfg.queue {
+        QueueKind::Calendar => go(Runner::with_faults(cfg, protocol, seed, plan), seed, obs),
+        QueueKind::Heap => go(
+            Runner::with_faults_heap(cfg, protocol, seed, plan),
+            seed,
+            obs,
+        ),
+    }
 }
 
 #[cfg(test)]

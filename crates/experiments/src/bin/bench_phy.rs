@@ -1,12 +1,20 @@
-//! Tracked PHY perf baseline: full dense replications at increasing node
-//! counts, spatial grid index vs the brute-force O(N) scan, emitted as
-//! `results/BENCH_phy.json` (nodes vs wall-clock, events/second, and the
-//! grid/brute speedup). Every pair is also checked for bit-identical
-//! `RunReport`s — the grid's determinism contract, asserted at full
-//! replication scale on every baseline refresh.
+//! Tracked engine perf baseline: full dense replications at increasing
+//! node counts, run three ways against the engine default (calendar
+//! queue + spatial grid) — the binary-heap queue oracle and the
+//! brute-force O(N) PHY scan — emitted as `results/BENCH_phy.json`
+//! (nodes vs wall-clock, events/second, and the queue/PHY speedups).
+//! Every variant is also checked for a bit-identical `RunReport`: the
+//! calendar queue's and the grid's determinism contracts, asserted at
+//! full replication scale on every baseline refresh. The process exits
+//! nonzero on any divergence, which is what the CI `queue` stage keys on.
 //!
-//! Scaled by `RMAC_PACKETS` (default 150) and `RMAC_REPS` (wall-clock
-//! repetitions per cell, minimum taken; default 2).
+//! ```text
+//! bench_phy            # full curve: 50/200/500 nodes -> BENCH_phy.json
+//! bench_phy --smoke    # CI A/B: 50/200 nodes, fewer packets, own file
+//! ```
+//!
+//! Scaled by `RMAC_PACKETS` (default 150 full / 40 smoke) and `RMAC_REPS`
+//! (wall-clock repetitions per cell, minimum taken; default 2).
 
 use std::time::Instant;
 
@@ -46,26 +54,45 @@ fn measure(cfg: &ScenarioConfig, seed: u64, reps: u64) -> (f64, RunReport) {
 }
 
 fn main() {
-    let packets = env_u64("RMAC_PACKETS", 150);
+    let smoke = std::env::args().skip(1).any(|a| a == "--smoke");
+    let packets = env_u64("RMAC_PACKETS", if smoke { 40 } else { 150 });
     let reps = env_u64("RMAC_REPS", 2);
     let seed = 1;
+    let node_counts: &[usize] = if smoke { &[50, 200] } else { &[50, 200, 500] };
 
     let mut rows = Vec::new();
-    eprintln!("PHY baseline: grid vs brute-force, {packets} packets, best of {reps}");
-    for &nodes in &[50usize, 200, 500] {
+    let mut divergences = 0u32;
+    eprintln!(
+        "engine baseline: calendar+grid vs heap queue vs brute PHY, \
+         {packets} packets, best of {reps}{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+    for &nodes in node_counts {
         let cfg = scaled(nodes, packets);
+        // The tracked number: the engine default (calendar queue, grid).
         let (grid_s, grid_report) = measure(&cfg, seed, reps);
+        // A/B leg 1: identical run under the binary-heap queue oracle.
+        let (heap_s, heap_report) = measure(&cfg.clone().with_heap_queue(), seed, reps);
+        // A/B leg 2: identical run under the brute-force O(N) PHY scan.
         let (brute_s, brute_report) = measure(&cfg.clone().with_brute_force_phy(), seed, reps);
-        // The determinism contract at full replication scale: the grid
-        // must not change a single metric.
-        assert_eq!(
-            grid_report, brute_report,
-            "grid vs brute RunReport divergence at {nodes} nodes"
-        );
+        // The determinism contracts at full replication scale: neither
+        // the calendar queue nor the grid may change a single metric.
+        let bit_identical = grid_report == heap_report && grid_report == brute_report;
+        if !bit_identical {
+            divergences += 1;
+            if grid_report != heap_report {
+                eprintln!("  DIVERGENCE: calendar vs heap RunReport at {nodes} nodes");
+            }
+            if grid_report != brute_report {
+                eprintln!("  DIVERGENCE: grid vs brute RunReport at {nodes} nodes");
+            }
+        }
+        let queue_speedup = heap_s / grid_s;
         let speedup = brute_s / grid_s;
         eprintln!(
-            "  {nodes:>4} nodes: grid {grid_s:>7.3} s  brute {brute_s:>7.3} s  \
-             speedup {speedup:>5.2}x  ({:.0} ev/s grid)",
+            "  {nodes:>4} nodes: calendar {grid_s:>7.3} s  heap {heap_s:>7.3} s \
+             (queue {queue_speedup:>5.2}x)  brute {brute_s:>7.3} s  \
+             ({:.0} ev/s)  bit_identical: {bit_identical}",
             grid_report.events as f64 / grid_s
         );
         rows.push(format!(
@@ -74,20 +101,25 @@ fn main() {
                 "      \"nodes\": {},\n",
                 "      \"events\": {},\n",
                 "      \"grid_wall_s\": {:.6},\n",
+                "      \"heap_wall_s\": {:.6},\n",
                 "      \"brute_wall_s\": {:.6},\n",
+                "      \"queue_speedup\": {:.3},\n",
                 "      \"speedup\": {:.3},\n",
                 "      \"grid_events_per_s\": {:.0},\n",
                 "      \"brute_events_per_s\": {:.0},\n",
-                "      \"bit_identical\": true\n",
+                "      \"bit_identical\": {}\n",
                 "    }}"
             ),
             nodes,
             grid_report.events,
             grid_s,
+            heap_s,
             brute_s,
+            queue_speedup,
             speedup,
             grid_report.events as f64 / grid_s,
             brute_report.events as f64 / brute_s,
+            bit_identical,
         ));
     }
 
@@ -96,18 +128,33 @@ fn main() {
             "{{\n",
             "  \"bench\": \"phy_spatial_index\",\n",
             "  \"scenario\": \"stationary, paper density, 20 pkt/s\",\n",
+            "  \"queue\": \"calendar (heap oracle A/B per row)\",\n",
             "  \"packets\": {},\n",
             "  \"reps\": {},\n",
             "  \"seed\": {},\n",
+            "  \"smoke\": {},\n",
             "  \"rows\": [\n{}\n  ]\n",
             "}}\n"
         ),
         packets,
         reps,
         seed,
+        smoke,
         rows.join(",\n")
     );
+    // Smoke runs land in their own file so the CI stage never clobbers
+    // the tracked full-curve baseline (same split as BENCH_shard_smoke).
+    let out = if smoke {
+        "results/BENCH_phy_smoke.json"
+    } else {
+        "results/BENCH_phy.json"
+    };
     std::fs::create_dir_all("results").expect("create results/");
-    std::fs::write("results/BENCH_phy.json", &json).expect("write BENCH_phy.json");
-    eprintln!("wrote results/BENCH_phy.json");
+    std::fs::write(out, &json).expect("write phy bench report");
+    eprintln!("wrote {out}");
+
+    if divergences > 0 {
+        eprintln!("FAIL: {divergences} row(s) were not bit-identical across queue/PHY variants");
+        std::process::exit(1);
+    }
 }

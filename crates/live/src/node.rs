@@ -30,6 +30,7 @@
 //! loopback hub, the UDP backend, and unit tests alike.
 
 use std::collections::{BTreeSet, VecDeque};
+use std::sync::Arc;
 
 use bytes::Bytes;
 use rmac_core::{
@@ -299,7 +300,7 @@ impl MacContext for LiveCtx {
             }
             self.pending.push_back(Indication::TxDone {
                 node: self.id,
-                frame,
+                frame: frame.into(),
                 aborted: true,
             });
         }
@@ -369,8 +370,10 @@ impl MacContext for LiveCtx {
         }
     }
 
-    fn deliver(&mut self, frame: Frame) {
-        self.delivered.push((self.now, frame));
+    fn deliver(&mut self, frame: &Arc<Frame>) {
+        // Live nodes run at real-time rates; keep `take_delivered`'s owned
+        // `Frame` API and pay the clone here.
+        self.delivered.push((self.now, (**frame).clone()));
     }
 
     fn notify(&mut self, token: u64, outcome: TxOutcome) {
@@ -641,7 +644,7 @@ impl LiveNode {
                             &mut self.ctx,
                             &Indication::TxDone {
                                 node: id,
-                                frame,
+                                frame: frame.into(),
                                 aborted: false,
                             },
                         );
@@ -691,7 +694,7 @@ impl LiveNode {
                     &mut self.ctx,
                     &Indication::FrameRx {
                         node: id,
-                        frame,
+                        frame: frame.into(),
                         ok,
                     },
                 );

@@ -1,10 +1,8 @@
 //! The multicast application: source generation and tree forwarding.
 
-use std::collections::HashSet;
-
 use bytes::Bytes;
 use rmac_core::api::TxRequest;
-use rmac_sim::SimTime;
+use rmac_sim::{DetHashSet, SimTime};
 use rmac_wire::{Dest, Frame, FrameKind, NodeId};
 
 use crate::bless::{BlessConfig, BlessState};
@@ -40,7 +38,7 @@ pub struct NetLayer {
     /// (one broadcast per hop, no recovery) — the §1 strawman that
     /// motivates MAC-layer reliability.
     reliable_forwarding: bool,
-    seen: HashSet<u32>,
+    seen: DetHashSet<u32>,
     stats: AppStats,
     next_packet_id: u32,
     next_token: u64,
@@ -55,7 +53,7 @@ impl NetLayer {
             bless: BlessState::new(id, cfg),
             payload_len,
             reliable_forwarding: true,
-            seen: HashSet::new(),
+            seen: DetHashSet::default(),
             stats: AppStats::default(),
             next_packet_id: 0,
             next_token: (id.0 as u64) << 32,
@@ -151,7 +149,13 @@ impl NetLayer {
                 self.stats
                     .delays_s
                     .push(now.saturating_sub(origin).as_secs_f64());
-                self.forward(now, NetPayload::App { id, origin }, out);
+                // Relay the received bytes instead of re-encoding: the
+                // encoding of `App { id, origin }` padded to this node's
+                // payload length is exactly the bytes that arrived (tag,
+                // id, origin, zero pad), so the forward below can share
+                // the reception's buffer — a refcount bump per hop in
+                // place of a 500-byte allocate-and-fill.
+                self.forward_reusing(now, NetPayload::App { id, origin }, &frame.payload, out);
             }
         }
     }
@@ -159,6 +163,32 @@ impl NetLayer {
     /// Forward an application packet to the current children (Reliable
     /// Send, multicast mode). Nodes without children are leaves.
     fn forward(&mut self, now: SimTime, payload: NetPayload, out: &mut Vec<TxRequest>) {
+        let bytes = payload.encode(self.payload_len);
+        self.forward_bytes(now, bytes, out);
+    }
+
+    /// [`NetLayer::forward`], reusing an already-encoded buffer when its
+    /// length matches this node's payload size (it then equals the fresh
+    /// encoding byte for byte — asserted in debug builds).
+    fn forward_reusing(
+        &mut self,
+        now: SimTime,
+        payload: NetPayload,
+        received: &Bytes,
+        out: &mut Vec<TxRequest>,
+    ) {
+        if received.len() != self.payload_len {
+            return self.forward(now, payload, out);
+        }
+        debug_assert_eq!(
+            &payload.encode(self.payload_len)[..],
+            &received[..],
+            "received App payload differs from its re-encoding"
+        );
+        self.forward_bytes(now, received.clone(), out);
+    }
+
+    fn forward_bytes(&mut self, now: SimTime, payload: Bytes, out: &mut Vec<TxRequest>) {
         let children = self.bless.children(now);
         if children.is_empty() {
             self.stats.leaf_receipts += 1;
@@ -176,14 +206,10 @@ impl NetLayer {
         out.push(TxRequest {
             reliable,
             dest,
-            payload: payload_bytes(&payload, self.payload_len),
+            payload,
             token: self.token(),
         });
     }
-}
-
-fn payload_bytes(p: &NetPayload, pad_to: usize) -> Bytes {
-    p.encode(pad_to)
 }
 
 #[cfg(test)]

@@ -1,8 +1,6 @@
 //! BLESS-lite: single-source tree maintenance by periodic one-hop beacons.
 
-use std::collections::HashMap;
-
-use rmac_sim::SimTime;
+use rmac_sim::{DetHashMap, SimTime};
 use rmac_wire::NodeId;
 
 use crate::payload::{NetPayload, HOPS_UNKNOWN};
@@ -42,7 +40,7 @@ struct NeighborInfo {
 pub struct BlessState {
     id: NodeId,
     cfg: BlessConfig,
-    neighbors: HashMap<NodeId, NeighborInfo>,
+    neighbors: DetHashMap<NodeId, NeighborInfo>,
     /// Current parent (None for the root and unrouted nodes).
     parent: Option<NodeId>,
     /// Current hops to root (0 for the root, [`HOPS_UNKNOWN`] if unrouted).
@@ -56,7 +54,7 @@ impl BlessState {
         BlessState {
             id,
             cfg,
-            neighbors: HashMap::new(),
+            neighbors: DetHashMap::default(),
             parent: None,
             hops,
         }

@@ -1,6 +1,6 @@
 //! The shared wireless channel.
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
 use rmac_mobility::{Motion, Pos};
 use rmac_sim::{SimQueue, SimRng, SimTime};
@@ -9,6 +9,7 @@ use rmac_wire::{Frame, NodeId};
 
 use crate::event::{Indication, PhyEvent};
 use crate::grid::{GridStats, IndexMode, SpatialGrid};
+use crate::slab::IdSlab;
 use crate::tone::{ActiveWatch, Tone, ToneLog};
 
 /// Identifier of one transmission on the data channel.
@@ -69,7 +70,9 @@ impl Default for ChannelConfig {
 /// One in-flight transmission.
 struct TxRecord {
     src: NodeId,
-    frame: Frame,
+    /// Shared so the per-receiver `FrameRx` fan-out is a refcount bump,
+    /// not a deep clone of the frame and its receiver-list `Vec`s.
+    frame: Arc<Frame>,
     /// Current transmission end (truncated by aborts).
     end: SimTime,
     aborted: bool,
@@ -133,8 +136,8 @@ pub struct Channel {
     cfg: ChannelConfig,
     motions: Vec<Motion>,
     radios: Vec<NodeRadio>,
-    txs: HashMap<TxId, TxRecord>,
-    tones: HashMap<u64, ToneEmission>,
+    txs: IdSlab<TxRecord>,
+    tones: IdSlab<ToneEmission>,
     next_tx: TxId,
     next_emit: u64,
     fault_hook: Option<Box<dyn FaultHook>>,
@@ -208,8 +211,8 @@ impl Channel {
             cfg,
             motions,
             radios: (0..n).map(|_| NodeRadio::new()).collect(),
-            txs: HashMap::new(),
-            tones: HashMap::new(),
+            txs: IdSlab::new(),
+            tones: IdSlab::new(),
             next_tx: 0,
             next_emit: 0,
             fault_hook: None,
@@ -408,7 +411,7 @@ impl Channel {
             id,
             TxRecord {
                 src,
-                frame,
+                frame: Arc::new(frame),
                 end,
                 aborted: false,
                 done: false,
@@ -428,7 +431,7 @@ impl Channel {
         let id = self.radios[src.idx()]
             .transmitting
             .expect("abort_tx with no transmission in flight");
-        let rec = self.txs.get_mut(&id).expect("live tx without record");
+        let rec = self.txs.get_mut(id).expect("live tx without record");
         debug_assert!(!rec.done);
         if rec.aborted {
             return;
@@ -503,7 +506,7 @@ impl Channel {
         let now = q.now();
         let rec = self
             .tones
-            .get_mut(&id)
+            .get_mut(id)
             .expect("emitting tone without record");
         rec.stopped = true;
         rec.pending += rec.receivers.len();
@@ -521,8 +524,8 @@ impl Channel {
                 }),
             );
         }
-        if self.tones[&id].pending == 0 {
-            if let Some(rec) = self.tones.remove(&id) {
+        if self.tones.get(id).is_some_and(|r| r.pending == 0) {
+            if let Some(rec) = self.tones.remove(id) {
                 self.recycle_tone(rec);
             }
         }
@@ -612,7 +615,7 @@ impl Channel {
     }
 
     fn frame_start(&mut self, rx: NodeId, tx: TxId, power: f64, out: &mut Vec<Indication>) {
-        if !self.txs.contains_key(&tx) {
+        if !self.txs.contains(tx) {
             // The transmission was aborted at its very start instant and
             // fully cleaned up; nothing arrives.
             return;
@@ -653,7 +656,7 @@ impl Channel {
         prop: SimTime,
         out: &mut Vec<Indication>,
     ) {
-        let Some(rec) = self.txs.get(&tx) else {
+        let Some(rec) = self.txs.get(tx) else {
             return; // stale
         };
         if rec.end + prop != now {
@@ -661,7 +664,7 @@ impl Channel {
         }
         let src = rec.src;
         let aborted = rec.aborted;
-        let frame = rec.frame.clone();
+        let frame = Arc::clone(&rec.frame);
 
         let r = &mut self.radios[rx.idx()];
         let Some(pos) = r.arriving.iter().position(|a| a.tx == tx) else {
@@ -716,27 +719,27 @@ impl Channel {
             out.push(Indication::CarrierOff { node: rx });
         }
 
-        let rec = self.txs.get_mut(&tx).expect("record vanished mid-event");
+        let rec = self.txs.get_mut(tx).expect("record vanished mid-event");
         rec.pending_ends -= 1;
         if rec.done && rec.pending_ends == 0 {
-            if let Some(rec) = self.txs.remove(&tx) {
+            if let Some(rec) = self.txs.remove(tx) {
                 self.recycle_tx(rec);
             }
         }
     }
 
     fn tx_complete(&mut self, now: SimTime, node: NodeId, tx: TxId, out: &mut Vec<Indication>) {
-        let Some(rec) = self.txs.get_mut(&tx) else {
+        let Some(rec) = self.txs.get_mut(tx) else {
             return;
         };
         if rec.done || rec.end != now {
             return; // stale completion from before an abort
         }
         rec.done = true;
-        let frame = rec.frame.clone();
+        let frame = Arc::clone(&rec.frame);
         let aborted = rec.aborted;
         if rec.pending_ends == 0 {
-            if let Some(rec) = self.txs.remove(&tx) {
+            if let Some(rec) = self.txs.remove(tx) {
                 self.recycle_tx(rec);
             }
         }
@@ -786,10 +789,10 @@ impl Channel {
                 present,
             });
         }
-        if let Some(rec) = self.tones.get_mut(&emit) {
+        if let Some(rec) = self.tones.get_mut(emit) {
             rec.pending -= 1;
             if rec.stopped && rec.pending == 0 {
-                if let Some(rec) = self.tones.remove(&emit) {
+                if let Some(rec) = self.tones.remove(emit) {
                     self.recycle_tone(rec);
                 }
             }

@@ -1,5 +1,7 @@
 //! PHY event and indication types.
 
+use std::sync::Arc;
+
 use rmac_sim::SimTime;
 use rmac_wire::{Frame, NodeId};
 
@@ -44,15 +46,20 @@ pub enum Indication {
     /// A frame finished arriving at `node`. `ok` is false if the frame was
     /// corrupted by collision, half-duplex conflict, bit errors, or the
     /// node moving out of range mid-frame.
+    ///
+    /// The frame is shared (`Arc`) because one transmission fans out to
+    /// every in-range receiver: delivering to N receivers bumps one
+    /// refcount N times instead of deep-cloning the frame (and its
+    /// receiver-list `Vec`s) N times.
     FrameRx {
         node: NodeId,
-        frame: Frame,
+        frame: Arc<Frame>,
         ok: bool,
     },
     /// `node`'s own transmission left the antenna (or was aborted).
     TxDone {
         node: NodeId,
-        frame: Frame,
+        frame: Arc<Frame>,
         aborted: bool,
     },
     /// Tone presence at `node` changed.

@@ -26,11 +26,9 @@
 //! meters; queries widen their search radius by that worst-case drift so
 //! the candidate set always covers the true in-range set.
 
-use std::collections::HashMap;
-
 use rmac_mobility::Motion;
 use rmac_mobility::Pos;
-use rmac_sim::SimTime;
+use rmac_sim::{DetHashMap, SimTime};
 
 /// How the channel answers range queries.
 #[derive(Clone, Copy, Debug)]
@@ -73,7 +71,7 @@ pub struct SpatialGrid {
     quantum: SimTime,
     /// Worst-case distance any mover can drift between refreshes (m).
     drift_m: f64,
-    buckets: HashMap<(i32, i32), Vec<u16>>,
+    buckets: DetHashMap<(i32, i32), Vec<u16>>,
     /// Each node's current cell.
     cells: Vec<(i32, i32)>,
     /// Indices of nodes with a nonzero speed bound.
@@ -104,7 +102,7 @@ impl SpatialGrid {
             cell_m: cell_m.max(1.0),
             quantum,
             drift_m: 0.0,
-            buckets: HashMap::new(),
+            buckets: DetHashMap::default(),
             cells: Vec::new(),
             movers: Vec::new(),
             built: false,

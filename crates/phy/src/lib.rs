@@ -35,6 +35,7 @@
 pub mod channel;
 pub mod event;
 pub mod grid;
+pub mod slab;
 pub mod tone;
 
 pub use channel::{Channel, ChannelConfig, FaultHook, FrameTallies, PhyObs, TxId, FRAME_KINDS};

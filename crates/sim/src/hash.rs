@@ -1,0 +1,139 @@
+//! Deterministic fast hashing for simulation-internal maps.
+//!
+//! `std`'s default `RandomState` seeds SipHash per process — fine for
+//! DoS resistance on untrusted input, but pure overhead for the
+//! simulator's small integer keys (node ids, cell coordinates, packet
+//! ids), and its per-process seed means map iteration order changes
+//! between runs, so any accidental order dependence shows up as flaky
+//! nondeterminism instead of a reproducible failure. [`DetHasher`] is the
+//! classic Fx multiply-rotate hash: a few cycles per word, and the same
+//! build hashes the same keys identically in every process, which turns
+//! an order leak into a deterministic, bisectable bug.
+//!
+//! Not collision-resistant against adversarial keys; use only for
+//! simulation state, never for data that crosses a trust boundary.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The Fx word-at-a-time multiply hash (as used by rustc): for each word,
+/// `state = (state.rotate_left(5) ^ word) * K` with a golden-ratio-derived
+/// odd constant.
+const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A deterministic, seedless multiply-rotate hasher for small keys.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DetHasher {
+    state: u64,
+}
+
+impl DetHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for DetHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_i32(&mut self, v: i32) {
+        self.add(v as u32 as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.add(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`DetHasher`] — zero-sized, seedless.
+pub type DetState = BuildHasherDefault<DetHasher>;
+
+/// A `HashMap` with deterministic, fast hashing (simulation state only).
+pub type DetHashMap<K, V> = HashMap<K, V, DetState>;
+
+/// A `HashSet` with deterministic, fast hashing (simulation state only).
+pub type DetHashSet<T> = HashSet<T, DetState>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::BuildHasher;
+
+    #[test]
+    fn identical_keys_hash_identically() {
+        let s = DetState::default();
+        for k in [0u64, 1, 42, u64::MAX, 0xDEAD_BEEF] {
+            assert_eq!(s.hash_one(k), s.hash_one(k));
+        }
+        assert_ne!(s.hash_one(1u64), s.hash_one(2u64));
+    }
+
+    #[test]
+    fn tuple_and_byte_keys_work() {
+        let s = DetState::default();
+        assert_ne!(s.hash_one((3i32, 4i32)), s.hash_one((4i32, 3i32)));
+        assert_ne!(s.hash_one(&b"abc"[..]), s.hash_one(&b"abd"[..]));
+        // Partial-word tails must contribute.
+        assert_ne!(s.hash_one(&b"123456789"[..]), s.hash_one(&b"123456780"[..]));
+    }
+
+    #[test]
+    fn maps_behave_like_std_maps() {
+        let mut m: DetHashMap<u64, u32> = DetHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i, (i * 3) as u32);
+        }
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&i), Some(&((i * 3) as u32)));
+        }
+        let mut s: DetHashSet<(i32, i32)> = DetHashSet::default();
+        assert!(s.insert((-1, 7)));
+        assert!(!s.insert((-1, 7)));
+        assert!(s.contains(&(-1, 7)));
+    }
+}

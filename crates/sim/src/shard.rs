@@ -15,6 +15,7 @@
 //! bus" of the sharded engine. The queue counts those hand-offs so the
 //! bench harness can report bus traffic.
 
+use crate::calendar::CalendarQueue;
 use crate::queue::EventQueue;
 use crate::time::SimTime;
 
@@ -35,6 +36,17 @@ pub trait SimQueue<E> {
     fn pop(&mut self) -> Option<(SimTime, E)>;
     /// The timestamp of the earliest pending event, if any.
     fn peek_time(&self) -> Option<SimTime>;
+    /// Pop the earliest event only if its timestamp is `<= cutoff`; leave
+    /// the queue untouched (returning `None`) otherwise. Equivalent to a
+    /// `peek_time` check followed by `pop`, but implementations can fuse
+    /// the two so the hot simulation loop pays for one head lookup per
+    /// event instead of two.
+    fn pop_at_or_before(&mut self, cutoff: SimTime) -> Option<(SimTime, E)> {
+        match self.peek_time() {
+            Some(t) if t <= cutoff => self.pop(),
+            _ => None,
+        }
+    }
     /// Number of pending events.
     fn len(&self) -> usize;
     /// Whether the queue has no pending events.
@@ -49,6 +61,22 @@ pub trait SimQueue<E> {
     fn depth_high_water(&self) -> usize;
     /// Current capacity (sum over sub-queues when sharded).
     fn capacity(&self) -> usize;
+}
+
+/// A [`SimQueue`] that can also serve as a *sub-queue* of a
+/// [`ShardedQueue`]: it accepts caller-supplied tie-break sequence numbers
+/// (the sharded front-end owns the shared counter) and exposes its head's
+/// `(time, seq)` key so the front-end can find the globally earliest event.
+/// Implemented by the heap oracle [`EventQueue`] and by the
+/// [`CalendarQueue`], which is how the sharded engine runs on either queue.
+pub trait SeqQueue<E>: SimQueue<E> + Sized {
+    /// An empty queue pre-sized for roughly `cap` pending events.
+    fn with_capacity(cap: usize) -> Self;
+    /// Schedule `event` at `at` with a caller-supplied tie-break sequence
+    /// number. Must not be mixed with [`SimQueue::push`] on the same queue.
+    fn push_with_seq(&mut self, at: SimTime, seq: u64, event: E);
+    /// The `(time, seq)` key of the earliest pending event, if any.
+    fn peek_key(&self) -> Option<(SimTime, u64)>;
 }
 
 impl<E> SimQueue<E> for EventQueue<E> {
@@ -94,6 +122,83 @@ impl<E> SimQueue<E> for EventQueue<E> {
     }
 }
 
+impl<E> SeqQueue<E> for EventQueue<E> {
+    #[inline]
+    fn with_capacity(cap: usize) -> Self {
+        EventQueue::with_capacity(cap)
+    }
+    #[inline]
+    fn push_with_seq(&mut self, at: SimTime, seq: u64, event: E) {
+        EventQueue::push_with_seq(self, at, seq, event)
+    }
+    #[inline]
+    fn peek_key(&self) -> Option<(SimTime, u64)> {
+        EventQueue::peek_key(self)
+    }
+}
+
+impl<E> SimQueue<E> for CalendarQueue<E> {
+    #[inline]
+    fn now(&self) -> SimTime {
+        CalendarQueue::now(self)
+    }
+    #[inline]
+    fn push(&mut self, at: SimTime, event: E) {
+        CalendarQueue::push(self, at, event)
+    }
+    #[inline]
+    fn push_after(&mut self, delay: SimTime, event: E) {
+        CalendarQueue::push_after(self, delay, event)
+    }
+    #[inline]
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        CalendarQueue::pop(self)
+    }
+    #[inline]
+    fn peek_time(&self) -> Option<SimTime> {
+        CalendarQueue::peek_time(self)
+    }
+    #[inline]
+    fn pop_at_or_before(&mut self, cutoff: SimTime) -> Option<(SimTime, E)> {
+        CalendarQueue::pop_at_or_before(self, cutoff)
+    }
+    #[inline]
+    fn len(&self) -> usize {
+        CalendarQueue::len(self)
+    }
+    #[inline]
+    fn total_popped(&self) -> u64 {
+        CalendarQueue::total_popped(self)
+    }
+    #[inline]
+    fn total_pushed(&self) -> u64 {
+        CalendarQueue::total_pushed(self)
+    }
+    #[inline]
+    fn depth_high_water(&self) -> usize {
+        CalendarQueue::depth_high_water(self)
+    }
+    #[inline]
+    fn capacity(&self) -> usize {
+        CalendarQueue::capacity(self)
+    }
+}
+
+impl<E> SeqQueue<E> for CalendarQueue<E> {
+    #[inline]
+    fn with_capacity(cap: usize) -> Self {
+        CalendarQueue::with_capacity(cap)
+    }
+    #[inline]
+    fn push_with_seq(&mut self, at: SimTime, seq: u64, event: E) {
+        CalendarQueue::push_with_seq(self, at, seq, event)
+    }
+    #[inline]
+    fn peek_key(&self) -> Option<(SimTime, u64)> {
+        CalendarQueue::peek_key(self)
+    }
+}
+
 /// One logical event queue partitioned across per-shard sub-queues.
 ///
 /// Every push routes to the sub-queue owning the event's home shard (the
@@ -103,8 +208,12 @@ impl<E> SimQueue<E> for EventQueue<E> {
 /// sub-queue heads. The pop order is therefore identical to a flat
 /// [`EventQueue`] fed the same pushes — the partition is observable only
 /// through the per-shard occupancy and bus counters.
-pub struct ShardedQueue<E> {
-    queues: Vec<EventQueue<E>>,
+///
+/// Generic over the sub-queue implementation `Q` (any [`SeqQueue`]): the
+/// heap oracle stays the default for differential testing, while the
+/// engine's fast path instantiates `ShardedQueue<Ev, CalendarQueue<Ev>>`.
+pub struct ShardedQueue<E, Q: SeqQueue<E> = EventQueue<E>> {
+    queues: Vec<Q>,
     route: Box<dyn Fn(&E) -> usize + Send>,
     next_seq: u64,
     now: SimTime,
@@ -117,7 +226,7 @@ pub struct ShardedQueue<E> {
     cross_pushes: u64,
 }
 
-impl<E> ShardedQueue<E> {
+impl<E, Q: SeqQueue<E>> ShardedQueue<E, Q> {
     /// A queue partitioned over `shards` sub-queues, each pre-sized to
     /// `capacity_per_shard`. `route` maps an event to the local index of
     /// its home shard (`0..shards`).
@@ -125,11 +234,11 @@ impl<E> ShardedQueue<E> {
         shards: usize,
         capacity_per_shard: usize,
         route: Box<dyn Fn(&E) -> usize + Send>,
-    ) -> ShardedQueue<E> {
+    ) -> ShardedQueue<E, Q> {
         assert!(shards > 0, "a sharded queue needs at least one shard");
         ShardedQueue {
             queues: (0..shards)
-                .map(|_| EventQueue::with_capacity(capacity_per_shard))
+                .map(|_| Q::with_capacity(capacity_per_shard))
                 .collect(),
             route,
             next_seq: 0,
@@ -181,7 +290,7 @@ impl<E> ShardedQueue<E> {
     }
 }
 
-impl<E> SimQueue<E> for ShardedQueue<E> {
+impl<E, Q: SeqQueue<E>> SimQueue<E> for ShardedQueue<E, Q> {
     #[inline]
     fn now(&self) -> SimTime {
         self.now
@@ -345,6 +454,35 @@ mod tests {
         assert_eq!(q.peek_key(), Some((t, 0)));
         q.pop();
         assert_eq!(q.peek_key(), Some((t, 1)));
+    }
+
+    #[test]
+    fn calendar_sub_queues_match_heap_sub_queues() {
+        // The sharded front-end must pop the identical stream whether its
+        // sub-queues are heap oracles or calendar queues.
+        let mut on_heap: ShardedQueue<u64> =
+            ShardedQueue::new(3, 16, Box::new(|e: &u64| (*e % 3) as usize));
+        let mut on_cal: ShardedQueue<u64, CalendarQueue<u64>> =
+            ShardedQueue::new(3, 16, Box::new(|e: &u64| (*e % 3) as usize));
+        let mut x: u64 = 0x13198A2E03707344;
+        for i in 0..500u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let t = SimTime::from_nanos(x % 100_000);
+            on_heap.push(t, i);
+            on_cal.push(t, i);
+        }
+        loop {
+            assert_eq!(on_heap.peek_key(), on_cal.peek_key());
+            let a = on_heap.pop();
+            let b = on_cal.pop();
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+        assert_eq!(on_heap.cross_pushes(), on_cal.cross_pushes());
     }
 
     #[test]

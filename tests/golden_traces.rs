@@ -20,7 +20,7 @@
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 
-use rmac::engine::{filter_tracer, Runner, ShardedRunner, TraceLevel, Tracer};
+use rmac::engine::{filter_tracer, QueueKind, Runner, ShardedRunner, TraceLevel, Tracer};
 use rmac::faults::{JamTarget, JammerSpec};
 use rmac::mobility::Pos;
 use rmac::prelude::*;
@@ -49,9 +49,18 @@ fn drain_sink(lines: Arc<Mutex<Vec<String>>>) -> String {
 /// tracer attached; return the JSONL trace as one string.
 fn capture(cfg: &ScenarioConfig, protocol: Protocol, seed: u64, plan: &FaultPlan) -> String {
     let (lines, tracer) = frame_sink();
-    let mut runner = Runner::with_faults(cfg, protocol, seed, plan);
-    runner.set_tracer(tracer);
-    let _ = runner.run(seed);
+    match cfg.queue {
+        QueueKind::Calendar => {
+            let mut runner = Runner::with_faults(cfg, protocol, seed, plan);
+            runner.set_tracer(tracer);
+            let _ = runner.run(seed);
+        }
+        QueueKind::Heap => {
+            let mut runner = Runner::with_faults_heap(cfg, protocol, seed, plan);
+            runner.set_tracer(tracer);
+            let _ = runner.run(seed);
+        }
+    }
     drain_sink(lines)
 }
 
@@ -259,24 +268,38 @@ fn golden_decoupled_clusters() {
     );
 }
 
-/// The sharded engine's trace contract: every golden scenario replays
-/// **byte-stable** under shards ∈ {1, 2, 4, 8}. Traces are compared both
-/// against a fresh oracle capture (the live contract) and against the
-/// committed golden file (so a simultaneous oracle+sharded drift cannot
-/// slip through). Multi-group runs buffer trace events per group and
-/// merge them in global `(time, seq)` order, which is exactly what this
-/// matrix pins.
+/// The engine's trace contract as a full matrix: every golden scenario
+/// replays **byte-stable** under queue ∈ {calendar, heap} × shards ∈
+/// {serial, 1, 2, 4, 8}. Traces are compared both against a fresh oracle
+/// capture (the live contract) and against the committed golden file (so
+/// a simultaneous oracle+variant drift cannot slip through). The serial
+/// heap leg pins the calendar scheduler against the binary-heap oracle
+/// at frame granularity; multi-group sharded runs buffer trace events
+/// per group and merge them in global `(time, seq)` order.
 #[test]
 fn golden_traces_replay_byte_stable_under_sharding() {
     let regen = std::env::var("RMAC_REGEN_GOLDEN").ok().as_deref() == Some("1");
     for (name, cfg, seed, plan) in golden_scenarios() {
         let oracle = capture(&cfg, Protocol::Rmac, seed, &plan);
-        for shards in [1usize, 2, 4, 8] {
-            let sharded = capture_sharded(&cfg, Protocol::Rmac, seed, &plan, shards);
+        for queue in [QueueKind::Calendar, QueueKind::Heap] {
+            let qcfg = cfg.clone().with_queue(queue);
+            let serial = capture(&qcfg, Protocol::Rmac, seed, &plan);
             assert_eq!(
-                sharded, oracle,
-                "{name}: sharded trace diverged from the oracle at shards={shards}"
+                serial,
+                oracle,
+                "{name}: serial {} trace diverged from the oracle",
+                queue.label()
             );
+            for shards in [1usize, 2, 4, 8] {
+                let sharded = capture_sharded(&qcfg, Protocol::Rmac, seed, &plan, shards);
+                assert_eq!(
+                    sharded,
+                    oracle,
+                    "{name}: sharded trace diverged from the oracle \
+                     (queue={}, shards={shards})",
+                    queue.label()
+                );
+            }
         }
         if !regen {
             let committed = std::fs::read_to_string(golden_path(name))

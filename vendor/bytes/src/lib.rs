@@ -10,23 +10,41 @@
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::ops::Deref;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// A cheaply clonable, immutable, contiguous byte buffer.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct Bytes {
     data: Arc<[u8]>,
 }
 
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes::new()
+    }
+}
+
+/// The one shared empty allocation behind [`Bytes::new`]. Empty buffers
+/// are created on hot paths (frames without payloads), and `Arc::from` on
+/// an empty slice still allocates its reference-count block; interning one
+/// makes every empty `Bytes` a pure refcount bump, like upstream's
+/// static-vtable representation.
+static EMPTY: OnceLock<Arc<[u8]>> = OnceLock::new();
+
 impl Bytes {
-    /// An empty buffer.
+    /// An empty buffer (a clone of one shared allocation).
     pub fn new() -> Bytes {
-        Bytes::from_static(&[])
+        Bytes {
+            data: Arc::clone(EMPTY.get_or_init(|| Arc::from(&[][..]))),
+        }
     }
 
     /// Wrap a static slice (copied; upstream borrows, but the workspace
     /// only uses this for tiny literals).
     pub fn from_static(bytes: &'static [u8]) -> Bytes {
+        if bytes.is_empty() {
+            return Bytes::new();
+        }
         Bytes {
             data: Arc::from(bytes),
         }
